@@ -1,0 +1,22 @@
+# Convenience targets; everything is plain dune underneath.
+all:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-full:
+	dune exec bench/main.exe -- --scale 1.0
+
+examples:
+	for e in quickstart soc_clock_domains benchmark_flow hstructure_study \
+	         delay_model_tour tree_gallery; do \
+	  echo "== $$e =="; dune exec examples/$$e.exe; done
+
+clean:
+	dune clean
+
+.PHONY: all test bench bench-full examples clean

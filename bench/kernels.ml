@@ -1,0 +1,139 @@
+(* Bechamel micro-benchmarks: one Test.make per paper artifact, timing the
+   computational kernel that regenerates it. *)
+
+open Bechamel
+open Toolkit
+module W = Waveform
+module T = Spice_sim.Transient
+module Rc = Circuit.Rc_tree
+module Buffer_lib = Circuit.Buffer_lib
+
+let mk_specs n die seed =
+  let rng = Util.Rng.create seed in
+  List.init n (fun i ->
+      {
+        Sinks.name = Printf.sprintf "k%d" i;
+        pos =
+          Geometry.Point.make (Util.Rng.float rng die) (Util.Rng.float rng die);
+        cap = Util.Rng.float_range rng 5e-15 30e-15;
+      })
+
+let tests (env : Experiments.env) =
+  let tech = env.Experiments.tech and dl = env.Experiments.dl in
+  let lib = env.Experiments.lib in
+  let b20 = Buffer_lib.by_name lib "BUF20X" in
+  let input =
+    Delaylib.Wave_gen.buffer_output_wave tech (Buffer_lib.smallest lib)
+      ~slew:100e-12
+  in
+  (* fig1.1 kernel: one transient stage simulation. *)
+  let t_fig11 =
+    Test.make ~name:"fig1.1: stage transient sim (1000um)"
+      (Staged.stage (fun () ->
+           let load = Rc.leaf ~tag:"load" 5e-15 in
+           let r, chain = Rc.wire tech ~length:1000. load in
+           let tree = Rc.node ~tag:"out" [ (r, chain) ] in
+           ignore (T.simulate tech (T.Driven_buffer (b20, input)) tree)))
+  in
+  (* fig3.2 kernel: waveform generation and measurement. *)
+  let t_fig32 =
+    Test.make ~name:"fig3.2: waveform gen + slew/delay measure"
+      (Staged.stage (fun () ->
+           let w = W.smooth_curve ~vdd:tech.Circuit.Tech.vdd ~slew:150e-12 () in
+           ignore (W.slew_10_90 w ~vdd:tech.Circuit.Tech.vdd);
+           ignore (W.crossing w 0.5)))
+  in
+  (* fig3.4 kernel: single-wire library lookup. *)
+  let t_fig34 =
+    Test.make ~name:"fig3.4: delaylib eval_single"
+      (Staged.stage (fun () ->
+           ignore
+             (Delaylib.eval_single dl ~drive:b20 ~load_cap:5e-15
+                ~input_slew:90e-12 ~length:640.)))
+  in
+  (* fig3.6 kernel: branch library lookup. *)
+  let t_fig36 =
+    Test.make ~name:"fig3.6: delaylib eval_branch"
+      (Staged.stage (fun () ->
+           ignore
+             (Delaylib.eval_branch dl ~drive:b20 ~load_cap_left:5e-15
+                ~load_cap_right:15e-15 ~input_slew:90e-12 ~len_left:400.
+                ~len_right:700.)))
+  in
+  (* model-acc kernel: RC-tree moment analysis. *)
+  let t_model =
+    let load = Rc.leaf ~tag:"load" 5e-15 in
+    let r, chain = Rc.wire tech ~length:1000. load in
+    let tree = Rc.node [ (r, chain) ] in
+    Test.make ~name:"model-acc: Elmore moment analysis"
+      (Staged.stage (fun () ->
+           ignore (Elmore.Moments.analyze ~source_res:200. tree)))
+  in
+  (* tab5.1 kernel: full synthesis of a small GSRC-like instance. *)
+  let specs25 = mk_specs 25 4000. 11 in
+  let t_tab51 =
+    Test.make ~name:"tab5.1: CTS synthesis (25 sinks)"
+      (Staged.stage (fun () -> ignore (Cts.synthesize dl specs25)))
+  in
+  (* tab5.2 kernel: whole-tree verification simulation. *)
+  let small_tree = (Cts.synthesize dl specs25).Cts.tree in
+  let t_tab52 =
+    Test.make ~name:"tab5.2: whole-tree verification sim (25 sinks)"
+      (Staged.stage (fun () ->
+           ignore
+             (Ctree_sim.simulate ~config:env.Experiments.sim_config tech
+                small_tree)))
+  in
+  (* tab5.3 kernel: one H-corrected merge (routes 4 exploratory merges). *)
+  let cfg_h =
+    Cts_config.with_hstructure (Cts_config.default dl) Cts_config.H_correct
+  in
+  let specs16 = mk_specs 16 3000. 13 in
+  let t_tab53 =
+    Test.make ~name:"tab5.3: CTS with H-correction (16 sinks)"
+      (Staged.stage (fun () ->
+           ignore (Cts.synthesize ~config:cfg_h dl specs16)))
+  in
+  (* ablation kernels: run evaluation and maze selection. *)
+  let p1 = Port.of_sink (List.nth specs25 0) in
+  let p2 = Port.of_sink (List.nth specs25 1) in
+  let cfg = Cts_config.default dl in
+  let t_abl_run =
+    Test.make ~name:"abl-sizing: slew-driven run eval (2000um)"
+      (Staged.stage (fun () -> ignore (Run.eval dl cfg p1 2000.)))
+  in
+  let t_abl_maze =
+    Test.make ~name:"abl-balance: bidirectional maze select"
+      (Staged.stage (fun () -> ignore (Maze.select dl cfg p1 p2)))
+  in
+  [
+    t_fig11; t_fig32; t_fig34; t_fig36; t_model; t_tab51; t_tab52; t_tab53;
+    t_abl_run; t_abl_maze;
+  ]
+
+let run env =
+  print_endline "=== kernel timings (Bechamel) ===";
+  let cfg_b =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg_b instances test in
+      let analyzed = Analyze.all ols (Instance.monotonic_clock) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              let v, unit =
+                if est >= 1e6 then (est /. 1e6, "ms")
+                else if est >= 1e3 then (est /. 1e3, "us")
+                else (est, "ns")
+              in
+              Printf.printf "  %-50s %10.2f %s/run\n" name v unit
+          | Some _ | None -> Printf.printf "  %-50s (no estimate)\n" name)
+        analyzed)
+    (tests env)

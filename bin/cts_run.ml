@@ -1,0 +1,297 @@
+(* Command-line driver for the aggressive buffered CTS flow.
+
+   Subcommands:
+     gen           generate a synthetic benchmark file (GSRC or ISPD format)
+     characterize  build and save the delay/slew library
+     synth         synthesize a clock tree and verify it by simulation
+     baseline      merge-node-only buffered DME on the same input
+     experiments   run the paper-reproduction experiment drivers *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let profile_t =
+  let profile_conv =
+    Arg.enum [ ("fast", Delaylib.Fast); ("accurate", Delaylib.Accurate) ]
+  in
+  Arg.(
+    value & opt profile_conv Delaylib.Accurate
+    & info [ "profile" ] ~docv:"PROFILE"
+        ~doc:"Characterization profile: $(b,fast) or $(b,accurate).")
+
+let cache_t =
+  Arg.(
+    value
+    & opt string ".cache/delaylib.txt"
+    & info [ "cache" ] ~docv:"FILE" ~doc:"Delay/slew library cache file.")
+
+let scale_t =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"F"
+        ~doc:"Scale factor in (0,1] applied to named benchmarks.")
+
+let bench_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "bench" ] ~docv:"NAME"
+        ~doc:"Synthetic benchmark name (r1-r5, f11-f32, fnb1).")
+
+let file_t =
+  Arg.(
+    value & opt (some string) None
+    & info [ "file" ] ~docv:"PATH" ~doc:"Benchmark file to read instead.")
+
+let format_t =
+  Arg.(
+    value & opt (enum [ ("gsrc", `Gsrc); ("ispd", `Ispd) ]) `Gsrc
+    & info [ "format" ] ~docv:"FMT" ~doc:"Benchmark file format.")
+
+let load_dl profile cache =
+  let dir = Filename.dirname cache in
+  (try if dir <> "." && not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+   with Unix.Unix_error _ -> ());
+  Delaylib.load_or_characterize ~profile ~cache Circuit.Tech.default
+    Circuit.Buffer_lib.default_library
+
+let sinks_of ~bench ~file ~format ~scale =
+  match (bench, file) with
+  | Some name, None ->
+      let d = Bmark.Synthetic.find name in
+      let d = if scale < 1. then Bmark.Synthetic.scaled d scale else d in
+      Bmark.Synthetic.sinks d
+  | None, Some path -> (
+      match format with
+      | `Gsrc -> fst (Bmark.Gsrc_format.parse_file path)
+      | `Ispd -> (Bmark.Ispd_format.parse_file path).Bmark.Ispd_format.sinks)
+  | None, None -> failwith "specify --bench or --file"
+  | Some _, Some _ -> failwith "--bench and --file are mutually exclusive"
+
+let report_metrics label tree (m : Ctree_sim.metrics) =
+  Printf.printf "%s\n  %s\n" label (Format.asprintf "%a" Ctree.pp_summary tree);
+  Printf.printf
+    "  simulated: latency=%.1f ps  skew=%.1f ps  worst slew=%.1f ps (%s)  \
+     settled=%b\n"
+    (m.Ctree_sim.latency *. 1e12)
+    (m.Ctree_sim.skew *. 1e12)
+    (m.Ctree_sim.worst_slew *. 1e12)
+    m.Ctree_sim.worst_slew_node m.Ctree_sim.all_settled
+
+(* --------------------------- gen ---------------------------------- *)
+
+let gen_cmd =
+  let out_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output file.")
+  in
+  let run bench scale format out verbose =
+    setup_logs verbose;
+    let name = Option.value ~default:"r1" bench in
+    let d = Bmark.Synthetic.find name in
+    let d = if scale < 1. then Bmark.Synthetic.scaled d scale else d in
+    let sinks = Bmark.Synthetic.sinks d in
+    (match format with
+    | `Gsrc ->
+        Bmark.Gsrc_format.write_file
+          ~unit_res:Circuit.Tech.default.Circuit.Tech.unit_res
+          ~unit_cap:Circuit.Tech.default.Circuit.Tech.unit_cap sinks out
+    | `Ispd ->
+        Bmark.Ispd_format.write_file
+          (Bmark.Ispd_format.make ~slew_limit:100e-12 sinks)
+          out);
+    Printf.printf "wrote %d sinks to %s\n" (List.length sinks) out
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic benchmark file")
+    Term.(const run $ bench_t $ scale_t $ format_t $ out_t $ verbose_t)
+
+(* ----------------------- characterize ----------------------------- *)
+
+let characterize_cmd =
+  let out_t =
+    Arg.(
+      value
+      & opt string ".cache/delaylib.txt"
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Library output file.")
+  in
+  let run profile out verbose =
+    setup_logs verbose;
+    let t0 = Unix.gettimeofday () in
+    let dl =
+      Delaylib.characterize ~profile Circuit.Tech.default
+        Circuit.Buffer_lib.default_library
+    in
+    Delaylib.save dl out;
+    Printf.printf "characterized in %.1f s; %d fits; saved to %s\n"
+      (Unix.gettimeofday () -. t0)
+      (List.length (Delaylib.fit_report dl))
+      out;
+    let worst =
+      List.fold_left
+        (fun acc (_, _, w) -> Float.max acc w)
+        0. (Delaylib.fit_report dl)
+    in
+    Printf.printf "worst fit residual: %.2f ps\n" (worst *. 1e12)
+  in
+  Cmd.v
+    (Cmd.info "characterize" ~doc:"Build and save the delay/slew library")
+    Term.(const run $ profile_t $ out_t $ verbose_t)
+
+(* --------------------------- synth -------------------------------- *)
+
+let synth_cmd =
+  let hstructure_t =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("none", Cts_config.H_none);
+               ("reestimate", Cts_config.H_reestimate);
+               ("correct", Cts_config.H_correct);
+             ])
+          Cts_config.H_none
+      & info [ "hstructure" ] ~docv:"MODE"
+          ~doc:"H-structure handling: none, reestimate or correct.")
+  in
+  let deck_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "deck" ] ~docv:"PATH" ~doc:"Write a SPICE deck of the tree.")
+  in
+  let slew_limit_t =
+    Arg.(
+      value & opt float 100.
+      & info [ "slew-limit" ] ~docv:"PS" ~doc:"Slew limit in picoseconds.")
+  in
+  let blockages_t =
+    Arg.(
+      value & opt int 0
+      & info [ "blockages" ] ~docv:"N"
+          ~doc:
+            "Generate N placement macros on the synthetic benchmark \
+             (buffers avoid them; wires may cross). Only with --bench.")
+  in
+  let svg_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"PATH" ~doc:"Render the tree layout to SVG.")
+  in
+  let run bench file format scale profile cache hstructure deck slew_limit
+      n_blockages svg verbose =
+    setup_logs verbose;
+    let dl = load_dl profile cache in
+    let sinks, blocks =
+      if n_blockages > 0 then begin
+        match bench with
+        | Some name ->
+            let d = Bmark.Synthetic.find name in
+            let d = if scale < 1. then Bmark.Synthetic.scaled d scale else d in
+            Bmark.Synthetic.blocked_instance d ~n_blockages
+        | None -> failwith "--blockages requires --bench"
+      end
+      else (sinks_of ~bench ~file ~format ~scale, [])
+    in
+    let config =
+      {
+        (Cts_config.default dl) with
+        Cts_config.hstructure;
+        slew_limit = slew_limit *. 1e-12;
+        slew_target = 0.8 *. slew_limit *. 1e-12;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let res = Cts.synthesize ~config ~blockages:blocks dl sinks in
+    Printf.printf "synthesized %d sinks in %.1f s (%d levels, %d flippings)\n"
+      (List.length sinks)
+      (Unix.gettimeofday () -. t0)
+      res.Cts.levels res.Cts.flippings;
+    (match Ctree.validate res.Cts.tree @ Blockage.violations blocks res.Cts.tree with
+    | [] -> ()
+    | errs ->
+        List.iter (Printf.printf "  invariant violation: %s\n") errs;
+        exit 2);
+    let m = Ctree_sim.simulate Circuit.Tech.default res.Cts.tree in
+    report_metrics "aggressive CTS result:" res.Cts.tree m;
+    (match deck with
+    | Some path ->
+        Ctree_netlist.write_file Circuit.Tech.default res.Cts.tree path;
+        Printf.printf "SPICE deck written to %s\n" path
+    | None -> ());
+    (match svg with
+    | Some path ->
+        Ctree_svg.write_file ~blockages:blocks res.Cts.tree path;
+        Printf.printf "SVG written to %s\n" path
+    | None -> ());
+    if m.Ctree_sim.worst_slew > slew_limit *. 1e-12 then begin
+      Printf.printf "SLEW LIMIT VIOLATED\n";
+      exit 3
+    end
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize a buffered clock tree and verify it")
+    Term.(
+      const run $ bench_t $ file_t $ format_t $ scale_t $ profile_t $ cache_t
+      $ hstructure_t $ deck_t $ slew_limit_t $ blockages_t $ svg_t
+      $ verbose_t)
+
+(* -------------------------- baseline ------------------------------ *)
+
+let baseline_cmd =
+  let run bench file format scale verbose =
+    setup_logs verbose;
+    let sinks = sinks_of ~bench ~file ~format ~scale in
+    let tree =
+      Dme.synthesize_buffered Circuit.Tech.default
+        Circuit.Buffer_lib.default_library sinks
+    in
+    let m = Ctree_sim.simulate Circuit.Tech.default tree in
+    report_metrics "merge-node-only buffered DME baseline:" tree m
+  in
+  Cmd.v
+    (Cmd.info "baseline" ~doc:"Run the merge-node-only buffered DME baseline")
+    Term.(const run $ bench_t $ file_t $ format_t $ scale_t $ verbose_t)
+
+(* ------------------------- experiments ---------------------------- *)
+
+let experiments_cmd =
+  let names_t =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (default: all).")
+  in
+  let run names scale profile verbose =
+    setup_logs verbose;
+    let env = Experiments.make_env ~profile ~scale () in
+    let todo =
+      match names with
+      | [] -> Experiments.all
+      | _ -> List.filter (fun (n, _) -> List.mem n names) Experiments.all
+    in
+    List.iter
+      (fun (name, driver) -> Printf.printf "=== %s ===\n%s\n" name (driver env))
+      todo
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Run paper-reproduction experiment drivers")
+    Term.(const run $ names_t $ scale_t $ profile_t $ verbose_t)
+
+let () =
+  let info =
+    Cmd.info "cts_run" ~version:"1.0.0"
+      ~doc:"Clock tree synthesis under aggressive buffer insertion"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; characterize_cmd; synth_cmd; baseline_cmd; experiments_cmd ]))

@@ -1,0 +1,72 @@
+(* A tour of the delay-modeling substrate (Chapter 3): transient
+   simulation, why Elmore/ramp models fall short, and how the
+   characterized library closes the gap.
+
+   Run with:  dune exec examples/delay_model_tour.exe *)
+
+module W = Waveform
+module T = Spice_sim.Transient
+module Rc = Circuit.Rc_tree
+
+let tech = Circuit.Tech.default
+let lib = Circuit.Buffer_lib.default_library
+let b20 = Circuit.Buffer_lib.by_name lib "BUF20X"
+let ps v = v *. 1e12
+
+let () =
+  (* --- 1. Raw transient simulation of a buffered stage. --- *)
+  print_endline "1. transient simulation: 20X buffer driving 800 um of wire";
+  let input = W.smooth_curve ~vdd:tech.Circuit.Tech.vdd ~slew:80e-12 () in
+  let load = Rc.leaf ~tag:"load" 10e-15 in
+  let r, chain = Rc.wire tech ~length:800. load in
+  let tree = Rc.node ~tag:"out" [ (r, chain) ] in
+  let res = T.simulate tech (T.Driven_buffer (b20, input)) tree in
+  let buf_delay = Option.get (W.delay_50 input (T.root_waveform res) ~vdd:tech.Circuit.Tech.vdd) in
+  let total = Option.get (T.stage_delay res ~input ~tag:"load") in
+  let slew = Option.get (T.node_slew res ~tag:"load") in
+  Printf.printf "   buffer %.1f ps + wire %.1f ps; slew at load %.1f ps\n"
+    (ps buf_delay) (ps (total -. buf_delay)) (ps slew);
+
+  (* --- 2. Closed-form metrics on the same wire. --- *)
+  print_endline "2. closed-form metrics on the same wire (driven ideally)";
+  let m = Elmore.Moments.analyze ~source_res:(Circuit.Buffer_lib.drive_resistance tech b20) tree in
+  Printf.printf
+    "   Elmore %.1f ps (overestimates)  D2M %.1f ps  Gaussian step slew %.1f ps\n"
+    (ps (Elmore.Moments.elmore m "load"))
+    (ps (Elmore.Moments.d2m m "load"))
+    (ps (Elmore.Moments.step_slew m "load"));
+
+  (* --- 3. The characterized library: fit once, evaluate instantly. --- *)
+  print_endline "3. pre-characterized library lookups (Chapter 3)";
+  let dl =
+    Delaylib.load_or_characterize ~profile:Delaylib.Fast
+      ~cache:".cache/delaylib_fast.txt" tech lib
+  in
+  let e = Delaylib.eval_single dl ~drive:b20 ~load_cap:10e-15 ~input_slew:80e-12 ~length:800. in
+  Printf.printf
+    "   library: buffer %.1f ps, wire %.1f ps, slew %.1f ps (vs sim above)\n"
+    (ps e.Delaylib.buf_delay) (ps e.Delaylib.wire_delay) (ps e.Delaylib.wire_slew);
+
+  (* --- 4. Slew-aware buffer spacing. --- *)
+  print_endline "4. how far can each buffer drive before violating 80 ps slew?";
+  List.iter
+    (fun name ->
+      let b = Circuit.Buffer_lib.by_name lib name in
+      let len =
+        Delaylib.max_length_for_slew dl ~drive:b ~load_cap:1e-15
+          ~input_slew:80e-12 ~slew_limit:80e-12
+      in
+      Printf.printf "   %-7s -> %.0f um\n" name len)
+    [ "BUF10X"; "BUF20X"; "BUF30X" ];
+
+  (* --- 5. Input-slew sensitivity of intrinsic delay. --- *)
+  print_endline "5. buffer intrinsic delay vs input slew (the effect DME misses)";
+  List.iter
+    (fun s ->
+      let e =
+        Delaylib.eval_single dl ~drive:b20 ~load_cap:1e-15 ~input_slew:s
+          ~length:400.
+      in
+      Printf.printf "   input slew %5.0f ps -> intrinsic %.1f ps\n" (ps s)
+        (ps e.Delaylib.buf_delay))
+    [ 30e-12; 60e-12; 100e-12; 150e-12 ]

@@ -1,0 +1,45 @@
+(* H-structure correction study (Sec. 4.1.2): run the same benchmark with
+   topology correction off, with Method 1 (re-estimation by edge cost) and
+   with Method 2 (route all pairings, keep the best), and compare the
+   simulated skews — a miniature of the paper's Table 5.3.
+
+   Run with:  dune exec examples/hstructure_study.exe *)
+
+let () =
+  let tech = Circuit.Tech.default in
+  let dl =
+    Delaylib.load_or_characterize ~profile:Delaylib.Fast
+      ~cache:".cache/delaylib_fast.txt" tech Circuit.Buffer_lib.default_library
+  in
+  let d = Bmark.Synthetic.scaled (Bmark.Synthetic.find "r1") 0.2 in
+  let sinks = Bmark.Synthetic.sinks d in
+  Printf.printf "benchmark %s: %d sinks\n" d.Bmark.Synthetic.name
+    (List.length sinks);
+  let variants =
+    [
+      ("original", Cts_config.H_none);
+      ("re-estimation (Method 1)", Cts_config.H_reestimate);
+      ("correction (Method 2)", Cts_config.H_correct);
+    ]
+  in
+  let base_skew = ref None in
+  List.iter
+    (fun (label, mode) ->
+      let config = Cts_config.with_hstructure (Cts_config.default dl) mode in
+      let t0 = Unix.gettimeofday () in
+      let res = Cts.synthesize ~config dl sinks in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let m = Ctree_sim.simulate tech res.Cts.tree in
+      let skew = m.Ctree_sim.skew in
+      let ratio =
+        match !base_skew with
+        | None ->
+            base_skew := Some skew;
+            ""
+        | Some base ->
+            Printf.sprintf "  (%+.2f%% vs original)"
+              ((skew -. base) /. base *. 100.)
+      in
+      Printf.printf "%-26s skew %6.1f ps  flippings %3d  (%.1f s)%s\n" label
+        (skew *. 1e12) res.Cts.flippings elapsed ratio)
+    variants

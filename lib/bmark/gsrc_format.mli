@@ -1,0 +1,24 @@
+(** GSRC Bookshelf BST benchmark files (the r1-r5 family of [23]).
+
+    Accepted grammar (one record per line; '#' starts a comment):
+
+    - [NumPins : <n>] — optional sink-count header, checked when present;
+    - [UnitRes : <ohm/um>] / [UnitCap : <F/um>] — optional, returned as
+      metadata;
+    - [<name> <x> <y> <cap>] — a named sink;
+    - [<x> <y> <cap>] — an anonymous sink (named [pN] by position).
+
+    Coordinates are micrometres, capacitance farads. The writer emits the
+    named form with a [NumPins] header, so write/parse round-trips. *)
+
+type metadata = { unit_res : float option; unit_cap : float option }
+
+val parse : string -> Sinks.spec list * metadata
+(** Parse file contents (not a path). Raises [Failure] with a line number
+    on malformed input. *)
+
+val parse_file : string -> Sinks.spec list * metadata
+
+val render : ?unit_res:float -> ?unit_cap:float -> Sinks.spec list -> string
+val write_file :
+  ?unit_res:float -> ?unit_cap:float -> Sinks.spec list -> string -> unit

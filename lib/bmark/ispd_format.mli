@@ -1,0 +1,40 @@
+(** ISPD 2009 Clock Network Synthesis contest benchmarks (the f11-fnb1
+    family of [24]) — a faithful subset of the contest grammar.
+
+    Accepted sections ('#' comments allowed):
+
+    {v
+    num sink <n>
+    <id> <x> <y> <cap>          (repeated n times)
+    num wirelib <k>
+    <idx> <unit_res> <unit_cap> (repeated k times)
+    num bufferlib <k>
+    <idx> <name> <size>         (repeated k times)
+    num blockage <k>
+    <x1> <y1> <x2> <y2>         (repeated k times)
+    slew limit <seconds>
+    die <xmin> <ymin> <xmax> <ymax>
+    v}
+
+    Only the sink section is mandatory. Unknown sections raise. *)
+
+type t = {
+  sinks : Sinks.spec list;
+  wirelib : (float * float) list;  (** (ohm/um, F/um) per wire type. *)
+  bufferlib : (string * float) list;  (** (name, size in X). *)
+  blockages : Geometry.Bbox.t list;
+      (** Macro regions where buffers may not be placed. *)
+  slew_limit : float option;  (** Seconds. *)
+  die : (float * float * float * float) option;
+}
+
+val parse : string -> t
+(** Raises [Failure] with a line number on malformed input. *)
+
+val parse_file : string -> t
+val render : t -> string
+val write_file : t -> string -> unit
+
+val make :
+  ?slew_limit:float -> ?blockages:Geometry.Bbox.t list -> Sinks.spec list -> t
+(** Wrap plain sinks into a minimal benchmark record. *)

@@ -1,0 +1,113 @@
+type descriptor = {
+  name : string;
+  n_sinks : int;
+  die : float;
+  cap_lo : float;
+  cap_hi : float;
+  cluster_fraction : float;
+}
+
+let mk name n_sinks die cap_lo cap_hi cluster_fraction =
+  { name; n_sinks; die; cap_lo; cap_hi; cluster_fraction }
+
+(* Die sides chosen so the synthesized trees land in the paper's latency
+   regime (GSRC: ~1-3 ns with the 10x parasitics; ISPD: large dies that
+   make slew control hard). *)
+let gsrc =
+  [
+    mk "r1" 267 11000. 5e-15 35e-15 0.4;
+    mk "r2" 598 12500. 5e-15 35e-15 0.4;
+    mk "r3" 862 13500. 5e-15 35e-15 0.4;
+    mk "r4" 1903 16000. 5e-15 35e-15 0.4;
+    mk "r5" 3101 18000. 5e-15 35e-15 0.4;
+  ]
+
+let ispd =
+  [
+    mk "f11" 121 22000. 10e-15 35e-15 0.5;
+    mk "f12" 117 19000. 10e-15 35e-15 0.5;
+    mk "f21" 117 21000. 10e-15 35e-15 0.5;
+    mk "f22" 91 16000. 10e-15 35e-15 0.5;
+    mk "f31" 273 33000. 10e-15 35e-15 0.5;
+    mk "f32" 190 28000. 10e-15 35e-15 0.5;
+    mk "fnb1" 330 36000. 10e-15 35e-15 0.3;
+  ]
+
+let all = gsrc @ ispd
+
+let find name = List.find (fun d -> d.name = name) all
+
+(* Stable seed from the benchmark name. *)
+let seed_of name =
+  let h = ref 5381 in
+  String.iter (fun c -> h := (!h * 33) + Char.code c) name;
+  !h land 0x3FFFFFFF
+
+let sinks d =
+  let rng = Util.Rng.create (seed_of d.name) in
+  let n_cluster =
+    int_of_float (Float.round (d.cluster_fraction *. float_of_int d.n_sinks))
+  in
+  let n_clusters = Int.max 1 (n_cluster / 25) in
+  let centers =
+    Array.init n_clusters (fun _ ->
+        ( Util.Rng.float_range rng (0.15 *. d.die) (0.85 *. d.die),
+          Util.Rng.float_range rng (0.15 *. d.die) (0.85 *. d.die) ))
+  in
+  let clamp v = Float.max 0. (Float.min d.die v) in
+  List.init d.n_sinks (fun i ->
+      let x, y =
+        if i < n_cluster then begin
+          let cx, cy = centers.(Util.Rng.int rng n_clusters) in
+          let sigma = 0.03 *. d.die in
+          ( clamp (cx +. (sigma *. Util.Rng.gaussian rng)),
+            clamp (cy +. (sigma *. Util.Rng.gaussian rng)) )
+        end
+        else (Util.Rng.float rng d.die, Util.Rng.float rng d.die)
+      in
+      {
+        Sinks.name = Printf.sprintf "%s_s%d" d.name i;
+        pos = Geometry.Point.make x y;
+        cap = Util.Rng.float_range rng d.cap_lo d.cap_hi;
+      })
+
+let blocked_instance d ~n_blockages =
+  let rng = Util.Rng.create (seed_of (d.name ^ "#blk") + n_blockages) in
+  let blocks =
+    List.init n_blockages (fun _ ->
+        let w = Util.Rng.float_range rng (0.07 *. d.die) (0.14 *. d.die) in
+        let h = Util.Rng.float_range rng (0.07 *. d.die) (0.14 *. d.die) in
+        let x = Util.Rng.float rng (d.die -. w) in
+        let y = Util.Rng.float rng (d.die -. h) in
+        Geometry.Bbox.make x y (x +. w) (y +. h))
+  in
+  let legal p = not (List.exists (fun b -> Geometry.Bbox.contains b p) blocks) in
+  (* Re-sample the plain instance's sinks until they clear the macros;
+     deterministic because the retry stream is part of the same RNG. *)
+  let base = sinks d in
+  let specs =
+    List.map
+      (fun (s : Sinks.spec) ->
+        if legal s.Sinks.pos then s
+        else begin
+          let rec retry n =
+            let p =
+              Geometry.Point.make (Util.Rng.float rng d.die)
+                (Util.Rng.float rng d.die)
+            in
+            if legal p || n > 200 then p else retry (n + 1)
+          in
+          { s with Sinks.pos = retry 0 }
+        end)
+      base
+  in
+  (specs, blocks)
+
+let scaled d f =
+  if f <= 0. || f > 1. then invalid_arg "Synthetic.scaled: factor in (0,1]";
+  {
+    d with
+    name = Printf.sprintf "%s@%g" d.name f;
+    n_sinks = Int.max 4 (int_of_float (f *. float_of_int d.n_sinks));
+    die = Float.max 500. (sqrt f *. d.die);
+  }

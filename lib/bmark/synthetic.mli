@@ -1,0 +1,47 @@
+(** Deterministic synthetic equivalents of the paper's benchmarks.
+
+    The GSRC r1-r5 and ISPD-2009 f11-fnb1 files are not redistributable
+    in this repository, so each is replaced by a synthetic instance with
+    the {e published sink count}, a die area scaled to land in the
+    paper's latency regime, and sink capacitances in the range of the
+    originals. Placement mixes a uniform background with Gaussian
+    clusters (register banks), seeded per benchmark name — every run of
+    every binary sees the identical instance.
+
+    Real benchmark files drop in unchanged through {!Gsrc_format} /
+    {!Ispd_format}. *)
+
+type descriptor = {
+  name : string;
+  n_sinks : int;
+  die : float;  (** Die side (um), square. *)
+  cap_lo : float;
+  cap_hi : float;  (** Sink capacitance range (F). *)
+  cluster_fraction : float;  (** Fraction of sinks placed in clusters. *)
+}
+
+val gsrc : descriptor list
+(** r1 (267 sinks) ... r5 (3101 sinks). *)
+
+val ispd : descriptor list
+(** f11, f12, f21, f22, f31, f32, fnb1 with the published sink counts and
+    large dies. *)
+
+val all : descriptor list
+val find : string -> descriptor
+(** Raises [Not_found]. *)
+
+val sinks : descriptor -> Sinks.spec list
+(** Generate the instance (deterministic in the descriptor name). *)
+
+val blocked_instance :
+  descriptor -> n_blockages:int -> Sinks.spec list * Geometry.Bbox.t list
+(** Like {!sinks}, plus [n_blockages] rectangular macros (each roughly
+    7-14% of the die side) that sinks avoid — the ISPD'09 setting where
+    buffers cannot be placed inside macros but wires may cross them.
+    Deterministic in the descriptor name and blockage count. *)
+
+val scaled : descriptor -> float -> descriptor
+(** [scaled d f] shrinks the sink count and die by factor [f] in (0, 1]
+    — used by tests and quick modes; the name gains a ["@f"] suffix so
+    the instance remains distinct and deterministic. *)

@@ -1,0 +1,26 @@
+let nmos_current (tech : Tech.t) ~size ~vgs ~vds =
+  if vgs <= tech.vt || vds <= 0. then 0.
+  else begin
+    let vov = vgs -. tech.vt in
+    let idsat = tech.k_per_x *. size *. (vov ** tech.alpha) in
+    let vdsat = tech.vdsat_frac *. vov in
+    if vds >= vdsat then idsat
+    else
+      let x = vds /. vdsat in
+      idsat *. x *. (2. -. x)
+  end
+
+let inverter_current tech ~size ~vin ~vout =
+  let vdd = tech.Tech.vdd in
+  (* Pull-down NMOS: gate at vin, source at ground, drain at vout. *)
+  let i_n = nmos_current tech ~size ~vgs:vin ~vds:vout in
+  (* Pull-up PMOS: complementary — treat as an NMOS in the mirrored frame
+     (gate drive vdd - vin, drain-source drop vdd - vout). *)
+  let i_p = nmos_current tech ~size ~vgs:(vdd -. vin) ~vds:(vdd -. vout) in
+  i_p -. i_n
+
+let inverter_conductance tech ~size ~vin ~vout =
+  let dv = 1e-4 in
+  let i_hi = inverter_current tech ~size ~vin ~vout:(vout +. dv) in
+  let i_lo = inverter_current tech ~size ~vin ~vout:(vout -. dv) in
+  Float.max 0. (-.(i_hi -. i_lo) /. (2. *. dv))

@@ -1,0 +1,22 @@
+(** Transistor-level inverter model.
+
+    An alpha-power-law MOSFET model (Sakurai-Newton): saturation current
+    [k * (Vgs - Vt)^alpha], with a smooth quadratic linear region below
+    [Vdsat = vdsat_frac * (Vgs - Vt)]. An inverter combines a pull-down
+    NMOS and pull-up PMOS of the same size; this gives buffer delays that
+    depend nonlinearly on input slew and waveform shape — the effects
+    Chapter 3 of the paper is built around. *)
+
+val nmos_current : Tech.t -> size:float -> vgs:float -> vds:float -> float
+(** Drain current of a pull-down NMOS (>= 0); 0 when off or [vds <= 0]. *)
+
+val inverter_current : Tech.t -> size:float -> vin:float -> vout:float -> float
+(** Net current {e into} the inverter output node: positive = pull-up
+    (PMOS) charging the node, negative = pull-down (NMOS) discharging.
+    Both devices conduct in the crowbar region, as in a real inverter. *)
+
+val inverter_conductance :
+  Tech.t -> size:float -> vin:float -> vout:float -> float
+(** [- d I / d Vout], the (non-negative) small-signal output conductance
+    used to stamp the device semi-implicitly in the simulator. Computed
+    by central finite difference. *)

@@ -1,0 +1,30 @@
+(** SPICE netlist (deck) text emission.
+
+    The synthesized clock tree can be exported as a SPICE deck so results
+    remain checkable against an external simulator. The deck uses
+    behavioural `.subckt` buffers matching the two-inverter alpha-power
+    devices of {!Device}, distributed-RC wires, and `.measure` statements
+    for slew and delay at every sink. *)
+
+val header : Tech.t -> string
+(** Deck prologue: title, supply, model cards and buffer subcircuits for
+    every buffer in {!Buffer_lib.default_library}. *)
+
+val wire_card : Tech.t -> name:string -> from_node:string -> to_node:string ->
+  length:float -> string
+(** A pi-model wire instantiation comment-block plus R/C cards. *)
+
+val buffer_card : name:string -> buf:Buffer_lib.t -> input:string ->
+  output:string -> string
+(** A buffer subcircuit instantiation card. *)
+
+val sink_card : name:string -> node:string -> cap:float -> string
+(** A sink load capacitance card. *)
+
+val measure_cards : vdd:float -> source_node:string -> sinks:string list ->
+  string
+(** `.measure` statements: 50%-50% delay from the source to every sink and
+    10%-90% slew at every sink. *)
+
+val footer : t_stop:float -> string
+(** Transient analysis card and `.end`. *)

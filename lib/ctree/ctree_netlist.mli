@@ -1,0 +1,15 @@
+(** SPICE deck export for synthesized clock trees.
+
+    Produces a self-contained deck (source, buffer subcircuits, pi-model
+    wires, sink loads, per-sink delay/slew `.measure` cards) so that
+    results can be double-checked in an external SPICE. *)
+
+val to_deck :
+  ?source_slew:float -> ?t_stop:float -> Circuit.Tech.t -> Ctree.t -> string
+(** Render the tree. Wire segments between recorded route points are
+    emitted individually. Raises [Invalid_argument] if the root is not a
+    buffer. *)
+
+val write_file :
+  ?source_slew:float -> ?t_stop:float -> Circuit.Tech.t -> Ctree.t ->
+  string -> unit

@@ -1,0 +1,128 @@
+module W = Waveform
+module T = Spice_sim.Transient
+module Rc = Circuit.Rc_tree
+module Buffer_lib = Circuit.Buffer_lib
+
+type metrics = {
+  latency : float;
+  skew : float;
+  worst_slew : float;
+  worst_slew_node : string;
+  sink_delays : (string * float) list;
+  n_stages : int;
+  all_settled : bool;
+}
+
+(* Build the RC tree of one stage: everything below [node]'s output until
+   the next buffers (which appear as their gate capacitance). Returns the
+   RC tree plus the buffer nodes discovered at the stage boundary. *)
+let build_stage tech (node : Ctree.t) =
+  let next_buffers = ref [] in
+  let stage_sinks = ref [] in
+  let rec sub (child : Ctree.t) : Rc.t =
+    match child.Ctree.kind with
+    | Ctree.Sink { name; cap } ->
+        stage_sinks := child :: !stage_sinks;
+        Rc.leaf ~tag:("sink:" ^ name) cap
+    | Ctree.Buf b ->
+        next_buffers := (child, "buf:" ^ string_of_int child.Ctree.id) :: !next_buffers;
+        Rc.leaf
+          ~tag:("buf:" ^ string_of_int child.Ctree.id)
+          (Buffer_lib.input_cap tech b)
+    | Ctree.Merge ->
+        Rc.node ~tag:("m:" ^ string_of_int child.Ctree.id) (edges child)
+  and edges (n : Ctree.t) =
+    List.map
+      (fun (e : Ctree.edge) -> Rc.wire tech ~length:e.Ctree.length (sub e.Ctree.child))
+      n.Ctree.children
+  in
+  let tree = Rc.node ~tag:"out" (edges node) in
+  (tree, !next_buffers, !stage_sinks)
+
+let crop_margin = 100e-12
+
+let simulate ?(config = T.default_config) ?(source_slew = 60e-12) tech
+    (root : Ctree.t) =
+  (match root.Ctree.kind with
+  | Ctree.Buf _ -> ()
+  | Ctree.Sink _ | Ctree.Merge ->
+      invalid_arg "Ctree_sim.simulate: root must be a buffer");
+  let vdd = tech.Circuit.Tech.vdd in
+  let source = W.smooth_curve ~vdd ~slew:source_slew () in
+  let t_source_50 =
+    match W.crossing source (0.5 *. vdd) with
+    | Some t -> t
+    | None -> assert false
+  in
+  let worst_slew = ref 0. in
+  let worst_slew_node = ref "" in
+  let sink_arrivals = ref [] in
+  let n_stages = ref 0 in
+  let all_settled = ref true in
+  let note_slew tag wave =
+    match W.slew_10_90 wave ~vdd with
+    | Some s ->
+        if s > !worst_slew then begin
+          worst_slew := s;
+          worst_slew_node := tag
+        end
+    | None -> all_settled := false
+  in
+  (* Worklist of buffer stages: (buffer node, input waveform). *)
+  let queue = Queue.create () in
+  Queue.add (root, source) queue;
+  while not (Queue.is_empty queue) do
+    let node, input = Queue.pop queue in
+    incr n_stages;
+    let buf =
+      match node.Ctree.kind with
+      | Ctree.Buf b -> b
+      | Ctree.Sink _ | Ctree.Merge -> assert false
+    in
+    let rc, next, stage_sinks = build_stage tech node in
+    let res = T.simulate ~config tech (T.Driven_buffer (buf, input)) rc in
+    if not (T.settled res) then all_settled := false;
+    note_slew ("out:" ^ string_of_int node.Ctree.id) (T.root_waveform res);
+    (* Sinks reached within this stage. *)
+    List.iter
+      (fun (s : Ctree.t) ->
+        match s.Ctree.kind with
+        | Ctree.Sink { name; _ } -> (
+            let wave = T.waveform res ("sink:" ^ name) in
+            note_slew ("sink:" ^ name) wave;
+            match W.crossing wave (0.5 *. vdd) with
+            | Some t -> sink_arrivals := (name, t -. t_source_50) :: !sink_arrivals
+            | None ->
+                all_settled := false;
+                sink_arrivals := (name, Float.infinity) :: !sink_arrivals)
+        | Ctree.Buf _ | Ctree.Merge -> ())
+      stage_sinks;
+    (* Seed downstream buffer stages with cropped input waveforms. *)
+    List.iter
+      (fun (bnode, tag) ->
+        let wave = T.waveform res tag in
+        note_slew tag wave;
+        let cropped =
+          match W.crossing wave (0.01 *. vdd) with
+          | Some t -> W.crop_before wave (t -. crop_margin)
+          | None -> wave
+        in
+        Queue.add (bnode, cropped) queue)
+      next
+  done;
+  let delays = List.map snd !sink_arrivals in
+  let finite = List.filter (fun d -> Float.is_finite d) delays in
+  let latency = List.fold_left Float.max 0. delays in
+  let min_delay = List.fold_left Float.min Float.infinity finite in
+  let skew =
+    match finite with [] -> Float.infinity | _ :: _ -> latency -. min_delay
+  in
+  {
+    latency;
+    skew;
+    worst_slew = !worst_slew;
+    worst_slew_node = !worst_slew_node;
+    sink_delays = List.rev !sink_arrivals;
+    n_stages = !n_stages;
+    all_settled = !all_settled;
+  }

@@ -1,0 +1,80 @@
+module P = Geometry.Point
+
+let buffer_color (b : Circuit.Buffer_lib.t) =
+  if b.Circuit.Buffer_lib.size >= 30. then "#c0392b"
+  else if b.Circuit.Buffer_lib.size >= 20. then "#e67e22"
+  else "#f1c40f"
+
+let render ?(width_px = 900) ?(blockages = []) (root : Ctree.t) =
+  let pts = ref [] in
+  Ctree.iter (fun n -> pts := n.Ctree.pos :: !pts) root;
+  let bbox = Geometry.Bbox.of_points !pts in
+  let bbox = Geometry.Bbox.expand bbox (0.05 *. Geometry.Bbox.longest_side bbox +. 10.) in
+  let span = Float.max (Geometry.Bbox.width bbox) (Geometry.Bbox.height bbox) in
+  let scale = float_of_int width_px /. span in
+  let px (p : P.t) =
+    ( (p.P.x -. bbox.Geometry.Bbox.xmin) *. scale,
+      (bbox.Geometry.Bbox.ymax -. p.P.y) *. scale )
+  in
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let h_px = int_of_float (Geometry.Bbox.height bbox *. scale) in
+  add
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\">\n"
+    width_px h_px width_px h_px;
+  add "<rect width=\"100%%\" height=\"100%%\" fill=\"#fdfdfd\"/>\n";
+  (* Blockages under everything. *)
+  List.iter
+    (fun (bb : Geometry.Bbox.t) ->
+      let x1, y1 =
+        px { P.x = bb.Geometry.Bbox.xmin; y = bb.Geometry.Bbox.ymax }
+      in
+      let x2, y2 =
+        px { P.x = bb.Geometry.Bbox.xmax; y = bb.Geometry.Bbox.ymin }
+      in
+      add
+        "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+         fill=\"#d5d8dc\" stroke=\"#95a5a6\" stroke-width=\"1\"/>\n"
+        x1 y1 (x2 -. x1) (y2 -. y1))
+    blockages;
+  (* Wires next (under the devices). *)
+  Ctree.iter
+    (fun n ->
+      List.iter
+        (fun (e : Ctree.edge) ->
+          let x1, y1 = px n.Ctree.pos in
+          let x2, y2 = px e.Ctree.child.Ctree.pos in
+          add
+            "<polyline points=\"%.1f,%.1f %.1f,%.1f %.1f,%.1f\" fill=\"none\" \
+             stroke=\"#2980b9\" stroke-width=\"1\"/>\n"
+            x1 y1 x2 y1 x2 y2)
+        n.Ctree.children)
+    root;
+  (* Devices. *)
+  Ctree.iter
+    (fun n ->
+      let x, y = px n.Ctree.pos in
+      match n.Ctree.kind with
+      | Ctree.Sink _ ->
+          add "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.5\" fill=\"#27ae60\"/>\n" x y
+      | Ctree.Buf buf ->
+          if n.Ctree.id = root.Ctree.id then
+            add
+              "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"6\" fill=\"none\" \
+               stroke=\"#8e44ad\" stroke-width=\"2.5\"/>\n"
+              x y
+          else
+            add
+              "<rect x=\"%.1f\" y=\"%.1f\" width=\"5\" height=\"5\" \
+               fill=\"%s\"/>\n"
+              (x -. 2.5) (y -. 2.5) (buffer_color buf)
+      | Ctree.Merge -> ())
+    root;
+  add "</svg>\n";
+  Buffer.contents b
+
+let write_file ?width_px ?blockages root path =
+  let oc = open_out path in
+  output_string oc (render ?width_px ?blockages root);
+  close_out oc

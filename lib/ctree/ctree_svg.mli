@@ -1,0 +1,16 @@
+(** SVG rendering of a synthesized clock tree layout.
+
+    Wires are drawn as horizontal-then-vertical staircases between node
+    positions, sinks as circles, buffers as squares (colored by drive
+    strength), and the root driver as a ring. Useful for eyeballing
+    topology quality, detours and buffer placement. *)
+
+val render :
+  ?width_px:int -> ?blockages:Geometry.Bbox.t list -> Ctree.t -> string
+(** Render to an SVG document string. The viewport is fitted to the
+    tree's bounding box with a small margin. [blockages] are drawn as
+    hatched grey rectangles under the tree. *)
+
+val write_file :
+  ?width_px:int -> ?blockages:Geometry.Bbox.t list -> Ctree.t -> string ->
+  unit

@@ -1,0 +1,11 @@
+(** Clock sink specifications — the input to every synthesis algorithm. *)
+
+type spec = { name : string; pos : Geometry.Point.t; cap : float }
+
+val centroid : spec list -> Geometry.Point.t
+(** Centroid of the sink positions (non-empty list). *)
+
+val bbox : spec list -> Geometry.Bbox.t
+
+val validate : spec list -> string list
+(** Violations: duplicate names, non-positive capacitance, empty list. *)

@@ -1,0 +1,118 @@
+module P = Geometry.Point
+module Bbox = Geometry.Bbox
+
+type t = Bbox.t list
+
+let empty = []
+let legal blocks p = not (List.exists (fun b -> Bbox.contains b p) blocks)
+
+let step = 2.
+
+let slide_down blocks path d =
+  let rec go d =
+    if d <= 0. then 0.
+    else if legal blocks (Lpath.point_at path d) then d
+    else go (d -. step)
+  in
+  go d
+
+let first_legal_after blocks path d =
+  let len = Lpath.length path in
+  let rec go d =
+    if d > len then
+      if legal blocks (Lpath.point_at path len) then Some len else None
+    else if legal blocks (Lpath.point_at path d) then Some d
+    else go (d +. step)
+  in
+  go d
+
+let nearest_legal blocks p =
+  if legal blocks p then p
+  else begin
+    (* Ring probe: 8 directions at growing radius. *)
+    let dirs =
+      [ (1., 0.); (-1., 0.); (0., 1.); (0., -1.);
+        (0.7071, 0.7071); (0.7071, -0.7071); (-0.7071, 0.7071);
+        (-0.7071, -0.7071) ]
+    in
+    let rec go radius =
+      if radius > 4000. then p
+      else
+        let candidates =
+          List.filter_map
+            (fun (dx, dy) ->
+              let q = P.make (p.P.x +. (radius *. dx)) (p.P.y +. (radius *. dy)) in
+              if legal blocks q then Some q else None)
+            dirs
+        in
+        match candidates with
+        | q :: _ -> q
+        | [] -> go (radius *. 1.5)
+    in
+    go 10.
+  end
+
+let blocked_length blocks path =
+  let len = Lpath.length path in
+  let n = Int.max 1 (int_of_float (Float.ceil (len /. 10.))) in
+  let step = len /. float_of_int n in
+  let acc = ref 0. in
+  for i = 0 to n do
+    let p = Lpath.point_at path (float_of_int i *. step) in
+    if not (legal blocks p) then acc := !acc +. step
+  done;
+  !acc
+
+(* Badly blocked stretches (longer than the slack the span margin can
+   absorb) force a detour through a waypoint near a blockage corner. *)
+let detour_threshold = 100.
+
+let best_path blocks a b =
+  let h = Lpath.make a b in
+  if blocks = [] then h
+  else begin
+    let score p = (blocked_length blocks p *. 1000.) +. Lpath.length p in
+    let v = Lpath.make ~vertical_first:true a b in
+    let best2 = if score v < score h then v else h in
+    if blocked_length blocks best2 <= detour_threshold then best2
+    else begin
+      (* Try single-waypoint detours around inflated blockage corners. *)
+      let margin = 40. in
+      let waypoints =
+        List.concat_map
+          (fun bb ->
+            let e = Geometry.Bbox.expand bb margin in
+            [
+              P.make e.Geometry.Bbox.xmin e.Geometry.Bbox.ymin;
+              P.make e.Geometry.Bbox.xmin e.Geometry.Bbox.ymax;
+              P.make e.Geometry.Bbox.xmax e.Geometry.Bbox.ymin;
+              P.make e.Geometry.Bbox.xmax e.Geometry.Bbox.ymax;
+            ])
+          blocks
+      in
+      let candidates =
+        List.concat_map
+          (fun w -> [ Lpath.via a w b; Lpath.via ~vertical_first:true a w b ])
+          (List.filter (legal blocks) waypoints)
+      in
+      List.fold_left
+        (fun acc p -> if score p < score acc then p else acc)
+        best2 candidates
+    end
+  end
+
+let violations blocks tree =
+  let errs = ref [] in
+  Ctree.iter
+    (fun n ->
+      match n.Ctree.kind with
+      | Ctree.Buf b ->
+          if not (legal blocks n.Ctree.pos) then
+            errs :=
+              Printf.sprintf "buffer %s (node %d) at (%.0f, %.0f) inside a blockage"
+                b.Circuit.Buffer_lib.name n.Ctree.id n.Ctree.pos.P.x
+                n.Ctree.pos.P.y
+              :: !errs
+      | Ctree.Sink _ | Ctree.Merge -> ())
+    tree;
+  List.rev !errs

@@ -1,0 +1,38 @@
+(** Placement blockages (macros).
+
+    Following the ISPD 2009 contest rules the paper's benchmarks come
+    from: routing wires may cross a blockage, but buffers may not be
+    placed inside one. Merge-routing consults this module when planting
+    buffers along paths and on merge nodes. *)
+
+type t = Geometry.Bbox.t list
+
+val empty : t
+
+val legal : t -> Geometry.Point.t -> bool
+(** No blockage contains the point. *)
+
+val slide_down : t -> Lpath.t -> float -> float
+(** [slide_down blocks path d] is the largest distance [d' <= d] whose
+    path point is legal; 0 when the whole prefix is blocked. Used to pull
+    a planned buffer position back toward the path start. *)
+
+val first_legal_after : t -> Lpath.t -> float -> float option
+(** Smallest legal distance [>= d] along the path, if any. *)
+
+val nearest_legal : t -> Geometry.Point.t -> Geometry.Point.t
+(** The given point if legal, otherwise a nearby legal point found by a
+    ring probe around it (always returns; falls back to the original
+    point if no legal point is found within the probe radius, which only
+    happens when blockages tile a huge area). *)
+
+val blocked_length : t -> Lpath.t -> float
+(** Approximate length of the path covered by blockages (10 um
+    sampling) — used to choose between the two L orientations. *)
+
+val best_path : t -> Geometry.Point.t -> Geometry.Point.t -> Lpath.t
+(** The L-shaped path (of the two orientations) with the smaller blocked
+    length; ties prefer horizontal-first. *)
+
+val violations : t -> Ctree.t -> string list
+(** Buffers of the tree sitting inside a blockage. *)

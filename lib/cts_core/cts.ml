@@ -1,0 +1,204 @@
+module Point = Geometry.Point
+module Buffer_lib = Circuit.Buffer_lib
+
+let src = Logs.Src.create "cts" ~doc:"Aggressive buffered CTS"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type result = {
+  tree : Ctree.t;
+  est_latency : float;
+  est_skew : float;
+  levels : int;
+  snaked_wirelength : float;
+  inserted_buffers : int;
+  detoured_merges : int;
+  flippings : int;
+}
+
+type state = {
+  dl : Delaylib.t;
+  cfg : Cts_config.t;
+  blockages : Blockage.t;
+  children : (int, Port.t * Port.t) Hashtbl.t;
+  mutable snaked : float;
+  mutable inserted : int;
+  mutable detoured : int;
+  mutable flips : int;
+}
+
+(* Merge two ports; [commit] controls whether statistics are recorded
+   (H-structure correction explores merges it may discard). *)
+let do_merge st ~commit a b =
+  let port, s =
+    Merge_routing.merge ~blockages:st.blockages st.dl st.cfg a b
+  in
+  Hashtbl.replace st.children port.Port.node.Ctree.id (a, b);
+  if commit then begin
+    st.snaked <- st.snaked +. s.Merge_routing.snaked;
+    st.inserted <- st.inserted + s.Merge_routing.inserted_buffers;
+    if s.Merge_routing.detoured then st.detoured <- st.detoured + 1
+  end;
+  port
+
+let grandchildren st (p : Port.t) = Hashtbl.find_opt st.children p.Port.node.Ctree.id
+
+let as_item (p : Port.t) = { Topology.pos = Port.pos p; delay = p.Port.delay }
+
+(* H-structure handling for a pair about to merge (Sec. 4.1.2, Fig. 4.2):
+   both methods re-examine the three pairings of the four grandchildren. *)
+let hstructure st a b =
+  match (st.cfg.Cts_config.hstructure, grandchildren st a, grandchildren st b) with
+  | Cts_config.H_none, _, _ | _, None, _ | _, _, None -> (a, b)
+  | Cts_config.H_reestimate, Some (a1, a2), Some (b1, b2) ->
+      (* Method 1: pick the pairing whose worse edge cost (Eq. 4.1) is
+         lowest; only reroute when it differs from the original. *)
+      let beta = st.cfg.Cts_config.topology_beta in
+      let cost x y = Topology.edge_cost ~beta (as_item x) (as_item y) in
+      let original = Float.max (cost a1 a2) (cost b1 b2) in
+      let swap1 = Float.max (cost a1 b1) (cost a2 b2) in
+      let swap2 = Float.max (cost a1 b2) (cost a2 b1) in
+      if swap1 < original && swap1 <= swap2 then begin
+        st.flips <- st.flips + 1;
+        (do_merge st ~commit:true a1 b1, do_merge st ~commit:true a2 b2)
+      end
+      else if swap2 < original then begin
+        st.flips <- st.flips + 1;
+        (do_merge st ~commit:true a1 b2, do_merge st ~commit:true a2 b1)
+      end
+      else (a, b)
+  | Cts_config.H_correct, Some (a1, a2), Some (b1, b2) ->
+      (* Method 2: actually merge-route every pairing and keep the one
+         with the lowest worse skew. *)
+      let skew_of (x : Port.t) (y : Port.t) =
+        Float.max x.Port.skew_est y.Port.skew_est
+      in
+      let m_ab = (a, b) in
+      let m_11 = do_merge st ~commit:false a1 b1 in
+      let m_22 = do_merge st ~commit:false a2 b2 in
+      let m_12 = do_merge st ~commit:false a1 b2 in
+      let m_21 = do_merge st ~commit:false a2 b1 in
+      let original = skew_of a b in
+      let swap1 = skew_of m_11 m_22 in
+      let swap2 = skew_of m_12 m_21 in
+      if swap1 < original && swap1 <= swap2 then begin
+        st.flips <- st.flips + 1;
+        (m_11, m_22)
+      end
+      else if swap2 < original then begin
+        st.flips <- st.flips + 1;
+        (m_12, m_21)
+      end
+      else m_ab
+
+(* Shared root finalization: plant the source driver. *)
+let finalize dl (cfg : Cts_config.t) st (root_port : Port.t) ~levels =
+  let driver = Buffer_lib.largest (Delaylib.buffers dl) in
+  let intrinsic =
+    (Delaylib.eval_single dl ~drive:driver ~load_cap:root_port.Port.stub_load
+       ~input_slew:cfg.Cts_config.slew_target ~length:root_port.Port.stub_len)
+      .Delaylib.buf_delay
+  in
+  let tree =
+    Ctree.buffer ~pos:root_port.Port.node.Ctree.pos driver
+      [ Ctree.edge ~length:0. root_port.Port.node ]
+  in
+  {
+    tree;
+    est_latency = root_port.Port.delay +. intrinsic;
+    est_skew = root_port.Port.skew_est;
+    levels;
+    snaked_wirelength = st.snaked;
+    inserted_buffers = st.inserted;
+    detoured_merges = st.detoured;
+    flippings = st.flips;
+  }
+
+let fresh_state dl cfg blockages =
+  {
+    dl;
+    cfg;
+    blockages;
+    children = Hashtbl.create 256;
+    snaked = 0.;
+    inserted = 0;
+    detoured = 0;
+    flips = 0;
+  }
+
+let synthesize_bisection ?config ?(blockages = Blockage.empty) dl specs =
+  (match Sinks.validate specs with
+  | [] -> ()
+  | errs ->
+      invalid_arg ("Cts.synthesize_bisection: " ^ String.concat "; " errs));
+  let cfg = match config with Some c -> c | None -> Cts_config.default dl in
+  let st = fresh_state dl cfg blockages in
+  let depth = ref 0 in
+  (* Recursive median bisection along the longer bounding-box axis. *)
+  let rec go specs level =
+    if level > !depth then depth := level;
+    match specs with
+    | [] -> assert false
+    | [ s ] ->
+        let offset =
+          Option.value ~default:0.
+            (List.assoc_opt s.Sinks.name cfg.Cts_config.sink_offsets)
+        in
+        Port.of_sink ~offset s
+    | _ :: _ :: _ ->
+        let bbox = Sinks.bbox specs in
+        let horizontal =
+          Geometry.Bbox.width bbox >= Geometry.Bbox.height bbox
+        in
+        let key (s : Sinks.spec) =
+          if horizontal then s.Sinks.pos.Point.x else s.Sinks.pos.Point.y
+        in
+        let sorted = List.sort (fun a b -> Float.compare (key a) (key b)) specs in
+        let n = List.length sorted in
+        let left = List.filteri (fun i _ -> i < n / 2) sorted in
+        let right = List.filteri (fun i _ -> i >= n / 2) sorted in
+        do_merge st ~commit:true (go left (level + 1)) (go right (level + 1))
+  in
+  let root_port = go specs 0 in
+  finalize dl cfg st root_port ~levels:!depth
+
+let synthesize ?config ?(blockages = Blockage.empty) dl specs =
+  (match Sinks.validate specs with
+  | [] -> ()
+  | errs -> invalid_arg ("Cts.synthesize: " ^ String.concat "; " errs));
+  let cfg = match config with Some c -> c | None -> Cts_config.default dl in
+  let st = fresh_state dl cfg blockages in
+  let centroid = Sinks.centroid specs in
+  let leaf_port (s : Sinks.spec) =
+    let offset =
+      Option.value ~default:0.
+        (List.assoc_opt s.Sinks.name cfg.Cts_config.sink_offsets)
+    in
+    Port.of_sink ~offset s
+  in
+  let ports = ref (List.map leaf_port specs) in
+  let levels = ref 0 in
+  while List.length !ports > 1 do
+    incr levels;
+    let items = Array.of_list !ports in
+    let t_items = Array.map as_item items in
+    let pairing =
+      Topology.level_pairing ~beta:cfg.Cts_config.topology_beta ~centroid
+        t_items
+    in
+    let next = ref [] in
+    (match pairing.Topology.seed with
+    | Some i -> next := items.(i) :: !next
+    | None -> ());
+    List.iter
+      (fun (i, j) ->
+        let a, b = hstructure st items.(i) items.(j) in
+        next := do_merge st ~commit:true a b :: !next)
+      pairing.Topology.pairs;
+    Log.debug (fun m ->
+        m "level %d: %d -> %d subtrees" !levels (Array.length items)
+          (List.length !next));
+    ports := List.rev !next
+  done;
+  let root_port = match !ports with [ p ] -> p | _ -> assert false in
+  finalize dl cfg st root_port ~levels:!levels

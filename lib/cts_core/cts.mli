@@ -1,0 +1,38 @@
+(** Top-level buffered clock tree synthesis (Chapter 4 of the paper).
+
+    Levelized topology generation (nearest-neighbour matching with the
+    farthest-from-centroid heuristic, Sec. 4.1.1) drives merge-routing
+    ({!Merge_routing}) level by level until a single subtree remains; a
+    root driver buffer is then planted at the clock source. Optional
+    H-structure re-estimation/correction (Sec. 4.1.2) re-pairs the four
+    grandchildren of each level's sibling merges. *)
+
+type result = {
+  tree : Ctree.t;  (** Root is the source driver buffer. *)
+  est_latency : float;  (** Bottom-up latency estimate (s). *)
+  est_skew : float;  (** Accumulated imbalance estimate (s). *)
+  levels : int;
+  snaked_wirelength : float;  (** Total balance-stage snaking (um). *)
+  inserted_buffers : int;  (** Buffers inserted along routing paths. *)
+  detoured_merges : int;
+  flippings : int;  (** H-structure pairs actually corrected. *)
+}
+
+val synthesize :
+  ?config:Cts_config.t -> ?blockages:Blockage.t -> Delaylib.t ->
+  Sinks.spec list -> result
+(** Synthesize a buffered clock tree over the given sinks. The default
+    configuration is {!Cts_config.default} on the delay library.
+    [blockages] are macro regions buffers must avoid (wires may cross
+    them). Raises [Invalid_argument] on an empty or invalid sink list. *)
+
+val synthesize_bisection :
+  ?config:Cts_config.t -> ?blockages:Blockage.t -> Delaylib.t ->
+  Sinks.spec list -> result
+(** Fixed-topology variant (the paper's complexity analysis notes the
+    flow drops to O(n l^2) when the topology is given): the merge order
+    comes from recursive median bisection of the sink set along the
+    longer bounding-box axis — a balanced, placement-driven binary
+    topology — and each merge still runs the full merge-routing
+    machinery. H-structure handling does not apply (the topology is
+    fixed); [flippings] is always 0. *)

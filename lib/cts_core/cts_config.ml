@@ -1,0 +1,50 @@
+type hstructure = H_none | H_reestimate | H_correct
+
+type t = {
+  slew_limit : float;
+  slew_target : float;
+  grid_bins : int;
+  max_grid_bins : int;
+  target_bin_len : float;
+  topology_beta : float;
+  assumed_driver : Circuit.Buffer_lib.t;
+  max_stub_len : float;
+  max_stub_cap : float;
+  hstructure : hstructure;
+  prefer_small_within : float;
+  sink_offsets : (string * float) list;
+  top_margin : float;
+  enable_balance : bool;
+  enable_binary_search : bool;
+}
+
+(* The mid-size buffer: neither the weakest nor the most power-hungry
+   assumption for a yet-unknown upstream driver. *)
+let mid_buffer lib =
+  let sorted =
+    List.sort
+      (fun (a : Circuit.Buffer_lib.t) b -> Float.compare a.size b.size)
+      lib
+  in
+  List.nth sorted (List.length sorted / 2)
+
+let default dl =
+  {
+    slew_limit = 100e-12;
+    slew_target = 80e-12;
+    grid_bins = 45;
+    max_grid_bins = 181;
+    target_bin_len = 60.;
+    topology_beta = Topology.default_beta;
+    assumed_driver = mid_buffer (Delaylib.buffers dl);
+    max_stub_len = 300.;
+    max_stub_cap = 30e-15;
+    hstructure = H_none;
+    prefer_small_within = 60.;
+    sink_offsets = [];
+    top_margin = 0.7;
+    enable_balance = true;
+    enable_binary_search = true;
+  }
+
+let with_hstructure t h = { t with hstructure = h }

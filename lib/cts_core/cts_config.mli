@@ -1,0 +1,51 @@
+(** Synthesis configuration for the aggressive buffered CTS flow. *)
+
+type hstructure = H_none | H_reestimate | H_correct
+(** H-structure handling (Sec. 4.1.2): off, Method 1 (re-estimation by
+    edge cost), or Method 2 (route all pairings, keep the best). *)
+
+type t = {
+  slew_limit : float;
+      (** Hard slew constraint verified by simulation (default 100 ps). *)
+  slew_target : float;
+      (** Slew budget used during synthesis, leaving a margin under the
+          limit (default 80 ps, as in Sec. 5.1). *)
+  grid_bins : int;  (** Initial routing bins per dimension (paper: 45). *)
+  max_grid_bins : int;
+      (** Upper bound when the dynamic grid refinement kicks in. *)
+  target_bin_len : float;
+      (** Desired bin pitch (um); bins grow in count beyond [grid_bins]
+          for long nets to keep the pitch at most this. *)
+  topology_beta : float;  (** Delay-difference weight of Eq. 4.1. *)
+  assumed_driver : Circuit.Buffer_lib.t;
+      (** Buffer type assumed to drive a merge node before its real
+          driver is known (bottom-up slew assumption of Sec. 4.2.2). *)
+  max_stub_len : float;
+      (** Unbuffered stub length at a merge node above which a buffer is
+          planted on the merge node itself (um). *)
+  max_stub_cap : float;  (** Capacitance analogue of [max_stub_len] (F). *)
+  hstructure : hstructure;
+  prefer_small_within : float;
+      (** Intelligent sizing: a smaller buffer is preferred when its
+          feasible span is within this many um of the best span. *)
+  sink_offsets : (string * float) list;
+      (** Useful-skew schedule: per-sink extra arrival time (s). A sink
+          listed with offset [o] is balanced toward arriving [o] later
+          than the rest; unlisted sinks have offset 0. *)
+  top_margin : float;
+      (** Fraction of a driver's single-wire span that the top (merge-side)
+          unbuffered segment of a routing run may use — headroom for the
+          sibling branch's loading at the merge node (default 0.7). *)
+  enable_balance : bool;
+      (** Ablation switch: run the pre-routing balance stage. *)
+  enable_binary_search : bool;
+      (** Ablation switch: run the binary-search stage (off pins the
+          merge point at the midpoint between the last fixed nodes). *)
+}
+
+val default : Delaylib.t -> t
+(** Defaults matching the paper's experimental setup: 100 ps limit, 80 ps
+    synthesis target, 45 initial bins, mid-size assumed driver, H-structure
+    handling off. *)
+
+val with_hstructure : t -> hstructure -> t

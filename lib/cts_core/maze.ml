@@ -1,0 +1,104 @@
+module Point = Geometry.Point
+
+type choice = {
+  bin_center : Point.t;
+  d1 : float;
+  d2 : float;
+  eval1 : Run.eval;
+  eval2 : Run.eval;
+  est_skew : float;
+  bins_per_dim : int;
+}
+
+let side_delay dl (cfg : Cts_config.t) (e : Run.eval) top_wire =
+  let length = top_wire +. (e.Run.top_stub_len -. e.Run.top_free) in
+  let ev =
+    Delaylib.eval_single dl ~drive:cfg.assumed_driver ~load_cap:e.Run.top_load
+      ~input_slew:cfg.slew_target ~length
+  in
+  e.Run.delay_below +. ev.Delaylib.wire_delay
+
+let bins_for (cfg : Cts_config.t) span =
+  let wanted = int_of_float (Float.ceil (span /. cfg.target_bin_len)) in
+  Int.max cfg.grid_bins (Int.min cfg.max_grid_bins wanted)
+
+let select dl (cfg : Cts_config.t) (p1 : Port.t) (p2 : Port.t) =
+  let pos1 = Port.pos p1 and pos2 = Port.pos p2 in
+  let direct = Point.manhattan pos1 pos2 in
+  let span = Float.max direct 1. in
+  let r = bins_for cfg span in
+  (* Bounding box with one bin of margin so detours can bend outward. *)
+  let xmin = Float.min pos1.Point.x pos2.Point.x
+  and xmax = Float.max pos1.Point.x pos2.Point.x
+  and ymin = Float.min pos1.Point.y pos2.Point.y
+  and ymax = Float.max pos1.Point.y pos2.Point.y in
+  let margin = span /. float_of_int r in
+  let xmin = xmin -. margin
+  and xmax = xmax +. margin
+  and ymin = ymin -. margin
+  and ymax = ymax +. margin in
+  let fr = float_of_int r in
+  let bin_center i j : Point.t =
+    {
+      x = xmin +. ((float_of_int i +. 0.5) /. fr *. (xmax -. xmin));
+      y = ymin +. ((float_of_int j +. 0.5) /. fr *. (ymax -. ymin));
+    }
+  in
+  (* Memoize run evaluations per side: they depend only on the path
+     length, which is heavily shared between bins. Quantize to 0.1 um. *)
+  let cache1 = Hashtbl.create 256 and cache2 = Hashtbl.create 256 in
+  let eval_side cache port d =
+    let key = int_of_float (d *. 10.) in
+    match Hashtbl.find_opt cache key with
+    | Some e -> e
+    | None ->
+        let e = Run.eval dl cfg port d in
+        Hashtbl.replace cache key e;
+        e
+  in
+  let best = ref None in
+  let consider (c : choice) =
+    let better =
+      match !best with
+      | None -> true
+      | Some b ->
+          let feas c' = c'.eval1.Run.feasible && c'.eval2.Run.feasible in
+          if feas c && not (feas b) then true
+          else if feas b && not (feas c) then false
+          else if c.est_skew < b.est_skew -. 0.05e-12 then true
+          else if c.est_skew > b.est_skew +. 0.05e-12 then false
+          else c.d1 +. c.d2 < b.d1 +. b.d2 -. 1.
+    in
+    if better then best := Some c
+  in
+  let scan ~detour_only =
+    for i = 0 to r - 1 do
+      for j = 0 to r - 1 do
+        let center = bin_center i j in
+        let d1 = Point.manhattan pos1 center
+        and d2 = Point.manhattan pos2 center in
+        let is_direct = d1 +. d2 <= direct +. (2. *. margin) in
+        if (not detour_only) = is_direct then begin
+          let e1 = eval_side cache1 p1 d1 and e2 = eval_side cache2 p2 d2 in
+          let t1 = side_delay dl cfg e1 e1.Run.top_free in
+          let t2 = side_delay dl cfg e2 e2.Run.top_free in
+          consider
+            {
+              bin_center = center;
+              d1;
+              d2;
+              eval1 = e1;
+              eval2 = e2;
+              est_skew = Float.abs (t1 -. t2);
+              bins_per_dim = r;
+            }
+        end
+      done
+    done
+  in
+  scan ~detour_only:false;
+  (match !best with
+  | Some b when b.est_skew <= 0.5e-12 && b.eval1.Run.feasible && b.eval2.Run.feasible
+    -> ()
+  | _ -> scan ~detour_only:true);
+  match !best with Some b -> b | None -> assert false

@@ -1,0 +1,29 @@
+(** Bi-directional maze routing (Sec. 4.2.2, Fig. 4.3).
+
+    The region between the two subtree roots is partitioned into a grid
+    whose bin count per dimension starts at {!Cts_config.t} [grid_bins]
+    and grows for long nets (dynamic grid refinement). Expansion runs
+    from {e both} roots simultaneously: every bin carries the
+    slew-legalized propagation state ({!Run.eval}) toward each root, and
+    the bin with minimum delay difference — tie-broken by total
+    wirelength — is picked as the tentative merge location. *)
+
+type choice = {
+  bin_center : Geometry.Point.t;
+  d1 : float;  (** Path length from port 1 to the bin (um). *)
+  d2 : float;
+  eval1 : Run.eval;
+  eval2 : Run.eval;
+  est_skew : float;  (** |delay1 - delay2| including top-wire estimates. *)
+  bins_per_dim : int;  (** Grid resolution actually used. *)
+}
+
+val side_delay : Delaylib.t -> Cts_config.t -> Run.eval -> float -> float
+(** [side_delay dl cfg e top_wire] — delay of one side through its top
+    wire of the given length, under the assumed-driver model (driver
+    intrinsic delay excluded; it is common to both sides). *)
+
+val select : Delaylib.t -> Cts_config.t -> Port.t -> Port.t -> choice
+(** Run the bi-directional expansion and return the best merge bin.
+    Near-direct bins (no detour) are scanned first; detour bins are only
+    explored when the direct scan leaves residual skew. *)

@@ -1,0 +1,36 @@
+(** Merge-routing (Sec. 4.2): the three-stage replacement of classical
+    merge-segment calculation.
+
+    1. {b Balance}: if the delay difference between the two subtrees
+       exceeds what routing between them can absorb, the faster subtree
+       is pre-equalized by progressive wire snaking — alternating
+       driving buffers and slew-legal wire segments (Sec. 4.2.1).
+    2. {b Route}: bi-directional maze routing ({!Maze}) picks the merge
+       bin of minimum delay difference while inserting slew-driven,
+       intelligently sized buffers along both paths.
+    3. {b Binary search}: the merge point [M] slides along the segment
+       between the two paths' last fixed nodes, driven by delay-library
+       timing analysis, until the residual difference converges
+       (Sec. 4.2.3, Fig. 4.5). *)
+
+type stats = {
+  snaked : float;  (** Wire length added by the balance stage (um). *)
+  inserted_buffers : int;  (** Buffers planted along both paths. *)
+  residual : float;  (** |delay difference| left after binary search. *)
+  detoured : bool;  (** The chosen bin lies off the direct region. *)
+}
+
+val merge :
+  ?blockages:Blockage.t -> Delaylib.t -> Cts_config.t -> Port.t -> Port.t ->
+  Port.t * stats
+(** Merge two subtrees into one, returning the merged port (rooted at a
+    {!Ctree.Merge} node, or at a {!Ctree.Buf} when the merge-node stub
+    guard planted a buffer on [M]). With [blockages], buffers planted
+    along the paths, by wire snaking, or on the merge node are legalized
+    to blockage-free locations (wires may still cross blockages, per the
+    ISPD 2009 rules). *)
+
+val balance_capacity : Delaylib.t -> Cts_config.t -> Port.t -> float -> float
+(** Estimated delay a buffered run of the given length can add to a side
+    — the threshold the balance stage compares the delay difference
+    against. Exposed for tests and the ablation bench. *)

@@ -1,0 +1,28 @@
+type t = {
+  node : Ctree.t;
+  delay : float;
+  skew_est : float;
+  stub_len : float;
+  stub_load : float;
+  n_sinks : int;
+}
+
+let of_sink ?(offset = 0.) (s : Sinks.spec) =
+  {
+    node = Ctree.sink ~name:s.Sinks.name ~pos:s.Sinks.pos ~cap:s.Sinks.cap;
+    delay = -.offset;
+    skew_est = 0.;
+    stub_len = 0.;
+    stub_load = s.Sinks.cap;
+    n_sinks = 1;
+  }
+
+let pos t = t.node.Ctree.pos
+
+let buffered tech ~buf ~delay t =
+  {
+    t with
+    delay;
+    stub_len = 0.;
+    stub_load = Circuit.Buffer_lib.input_cap tech buf;
+  }

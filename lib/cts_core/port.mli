@@ -1,0 +1,37 @@
+(** Subtree ports — the bottom-up synthesis state of one subtree.
+
+    A port wraps a partially built clock subtree together with the timing
+    summary the top-level algorithm needs: its estimated latency, the
+    imbalance accumulated so far, and the {e unbuffered stub} hanging
+    directly below the subtree root (the wire/loads the next upstream
+    buffer will have to drive). *)
+
+type t = {
+  node : Ctree.t;  (** Subtree root. *)
+  delay : float;
+      (** Estimated latency from the port to its sinks (s), computed
+          bottom-up with the slew-target input assumption; excludes the
+          (yet unknown) upstream driver's intrinsic delay. *)
+  skew_est : float;  (** Accumulated imbalance estimate (s). *)
+  stub_len : float;
+      (** Longest unbuffered downstream path before hitting a buffer or
+          sink (um). *)
+  stub_load : float;
+      (** Downstream unbuffered load (gates, sinks, and off-worst-path
+          wire) excluding the [stub_len] wire itself (F) — shaped so
+          [length = stub_len + extra] with [load = stub_load] never
+          double-counts wire capacitance. *)
+  n_sinks : int;
+}
+
+val of_sink : ?offset:float -> Sinks.spec -> t
+(** [offset] is the sink's useful-skew target (s): the port starts with
+    delay [-offset] so levelized balancing naturally schedules the sink
+    [offset] later. *)
+
+val pos : t -> Geometry.Point.t
+
+val buffered :
+  Circuit.Tech.t -> buf:Circuit.Buffer_lib.t -> delay:float -> t -> t
+(** A copy of the port whose stub state reflects a buffer just planted on
+    the port position ([node] must already carry that buffer). *)

@@ -1,0 +1,128 @@
+module Buffer_lib = Circuit.Buffer_lib
+
+type placed = { buf : Buffer_lib.t; dist : float }
+
+type eval = {
+  delay_below : float;
+  buffers : placed list;
+  top_free : float;
+  top_stub_len : float;
+  top_load : float;
+  feasible : bool;
+}
+
+(* Spans depend only on (buffer, load class, slew target); memoize. *)
+let span_cache : (string * float * float, float) Hashtbl.t = Hashtbl.create 64
+
+let span dl (cfg : Cts_config.t) ~drive ~load_cap =
+  let class_cap = Delaylib.load_class_cap dl load_cap in
+  let key = (drive.Buffer_lib.name, class_cap, cfg.slew_target) in
+  match Hashtbl.find_opt span_cache key with
+  | Some s -> s
+  | None ->
+      let s =
+        Delaylib.max_length_for_slew dl ~drive ~load_cap
+          ~input_slew:cfg.slew_target ~slew_limit:cfg.slew_target
+      in
+      Hashtbl.replace span_cache key s;
+      s
+
+let stage_delay dl (cfg : Cts_config.t) drive ~length ~load_cap =
+  let e =
+    Delaylib.eval_single dl ~drive ~load_cap ~input_slew:cfg.slew_target
+      ~length
+  in
+  e.Delaylib.buf_delay +. e.Delaylib.wire_delay
+
+let stage_step dl (cfg : Cts_config.t) drive =
+  let gate = Buffer_lib.input_cap (Delaylib.tech dl) drive in
+  span dl cfg ~drive ~load_cap:gate
+
+(* Intelligent sizing (Fig. 4.4): among all buffer types, find the one
+   whose feasible span (stretching the slew closest to the target) is
+   longest; prefer a smaller type when it comes within
+   [prefer_small_within] of the best. Returns (buffer, span). *)
+let choose_buffer dl (cfg : Cts_config.t) ~stub_len ~load_cap =
+  let candidates =
+    List.map
+      (fun b -> (b, span dl cfg ~drive:b ~load_cap -. stub_len))
+      (Delaylib.buffers dl)
+  in
+  let best_span =
+    List.fold_left (fun acc (_, s) -> Float.max acc s) neg_infinity candidates
+  in
+  let good =
+    List.filter (fun (_, s) -> s >= best_span -. cfg.prefer_small_within) candidates
+  in
+  let smallest =
+    List.fold_left
+      (fun acc (b, s) ->
+        match acc with
+        | Some (bb, _) when bb.Buffer_lib.size <= b.Buffer_lib.size -> acc
+        | _ -> Some (b, s))
+      None good
+  in
+  match smallest with Some pick -> pick | None -> assert false
+
+let eval ?(place = fun ~cur:_ d -> d) dl (cfg : Cts_config.t) (port : Port.t)
+    length =
+  let tech = Delaylib.tech dl in
+  let delay = ref port.Port.delay in
+  let buffers = ref [] in
+  let pos = ref 0. in
+  let stub_len = ref port.Port.stub_len in
+  let stub_load = ref port.Port.stub_load in
+  let feasible = ref true in
+  let top_reached = ref false in
+  while not !top_reached do
+    let remaining = length -. !pos in
+    let assumed_span =
+      cfg.top_margin *. span dl cfg ~drive:cfg.assumed_driver ~load_cap:!stub_load
+    in
+    if !stub_len +. remaining <= assumed_span then begin
+      (* The rest of the run can stay unbuffered under the assumed
+         upstream driver. *)
+      top_reached := true
+    end
+    else begin
+      let buf, buf_span = choose_buffer dl cfg ~stub_len:!stub_len ~load_cap:!stub_load in
+      let ideal = Float.max 0. (Float.min buf_span remaining) in
+      if buf_span <= 0. then feasible := false;
+      (* Legalize the planned position against blockages. *)
+      let placed = place ~cur:!pos (!pos +. ideal) in
+      if placed <= !pos +. 1. || placed >= length +. 0.5 then begin
+        (* Either the stub alone violates the budget, or no legal
+           position remains inside the run: stop inserting; the merge
+           guard legalizes a buffer near the merge point. *)
+        feasible := false;
+        top_reached := true
+      end
+      else begin
+        let wire_above = Float.min (placed -. !pos) remaining in
+        if wire_above > (1.15 *. buf_span) +. 1. then feasible := false;
+        (* Stage: [buf] drives (wire_above + stub) into the stub load. *)
+        delay :=
+          !delay
+          +. stage_delay dl cfg buf ~length:(wire_above +. !stub_len)
+               ~load_cap:!stub_load;
+        pos := !pos +. wire_above;
+        buffers := { buf; dist = !pos } :: !buffers;
+        stub_len := 0.;
+        stub_load := Buffer_lib.input_cap tech buf
+      end
+    end
+  done;
+  let top_free = length -. !pos in
+  let top_stub_len = !stub_len +. top_free in
+  let assumed_span =
+    cfg.top_margin *. span dl cfg ~drive:cfg.assumed_driver ~load_cap:!stub_load
+  in
+  if top_stub_len > assumed_span then feasible := false;
+  {
+    delay_below = !delay;
+    buffers = List.rev !buffers;
+    top_free;
+    top_stub_len;
+    top_load = !stub_load;
+    feasible = !feasible;
+  }

@@ -1,0 +1,70 @@
+(** Slew-driven buffer insertion along a routing run (Sec. 4.2.2).
+
+    Evaluates what happens when a wire of a given length is routed upward
+    from a port: buffers are inserted greedily whenever the unbuffered
+    span would exceed the slew budget, with the paper's "intelligent
+    sizing" — every buffer type is evaluated and the one able to stretch
+    the span closest to (but within) the limit wins, with a preference
+    for smaller types when they come within {!Cts_config.t}
+    [prefer_small_within] of the best span. All slew/delay numbers come
+    from the pre-characterized {!Delaylib}. *)
+
+type placed = { buf : Circuit.Buffer_lib.t; dist : float }
+(** A buffer planted [dist] um above the port along the run. *)
+
+type eval = {
+  delay_below : float;
+      (** Port latency plus all inserted stage delays — everything below
+          the top of the run, excluding the still-driverless top wire. *)
+  buffers : placed list;  (** Bottom-up (nearest the port first). *)
+  top_free : float;
+      (** Wire between the last fixed node (topmost buffer, or the port
+          itself) and the top of the run (um). *)
+  top_stub_len : float;
+      (** Unbuffered length hanging at the run top: [top_free] plus the
+          port stub when no buffer was inserted. *)
+  top_load : float;  (** Load (excl. the [top_stub_len] wire) at the top. *)
+  feasible : bool;
+      (** The top stub can be driven by the assumed driver within the
+          slew target. *)
+}
+
+val span :
+  Delaylib.t -> Cts_config.t -> drive:Circuit.Buffer_lib.t ->
+  load_cap:float -> float
+(** Memoized longest wire [drive] can put in front of a load of the given
+    class while meeting the slew target under the target input-slew
+    assumption. *)
+
+val eval :
+  ?place:(cur:float -> float -> float) -> Delaylib.t -> Cts_config.t ->
+  Port.t -> float -> eval
+(** [eval dl cfg port length] analyzes a run of [length] um.
+
+    [place ~cur ideal] legalizes a planned buffer position [ideal]
+    (distance from the port along the run; [cur] is the previous buffer's
+    position) against placement blockages: it may pull the position back
+    toward [cur] (always slew-safe) or, when everything between [cur] and
+    [ideal] is blocked, push it forward past the blockage. Forced forward
+    jumps exceeding the span budget by more than 15%, or runs with no
+    legal position left, are marked infeasible (the merge-node guard
+    legalizes a buffer near the merge point in that case). Default: no
+    blockages. *)
+
+val choose_buffer :
+  Delaylib.t -> Cts_config.t -> stub_len:float -> load_cap:float ->
+  Circuit.Buffer_lib.t * float
+(** Intelligent sizing: the buffer type whose feasible span (after the
+    existing unbuffered [stub_len]) best exploits the slew budget, and
+    that span (um; can be non-positive when the stub alone violates). *)
+
+val stage_step :
+  Delaylib.t -> Cts_config.t -> Circuit.Buffer_lib.t -> float
+(** Stage pitch estimate: the span of a buffer driving a gate-class load,
+    used by the balance stage to bound what routing can absorb. *)
+
+val stage_delay :
+  Delaylib.t -> Cts_config.t -> Circuit.Buffer_lib.t -> length:float ->
+  load_cap:float -> float
+(** Buffer intrinsic delay plus wire delay of one stage at the target
+    input slew. *)

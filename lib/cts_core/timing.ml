@@ -1,0 +1,193 @@
+module Buffer_lib = Circuit.Buffer_lib
+
+type report = {
+  sink_delays : (string * float) list;
+  max_delay : float;
+  min_delay : float;
+  worst_slew : float;
+}
+
+let skew r = r.max_delay -. r.min_delay
+let mid_delay r = (r.max_delay +. r.min_delay) /. 2.
+
+type endpoint = {
+  node : Ctree.t;
+  path_len : float;
+  cap : float;
+  side_correction : float;  (** Elmore side-load delay add-on (s). *)
+  side_slew_sq : float;
+      (** Squared slew degradation from off-path loads, RSS-combined with
+          the fitted wire slew (s^2). *)
+}
+
+(* Total unbuffered capacitance of a stage region subtree: wires plus the
+   gates/sinks terminating it. *)
+let rec region_cap tech (e : Ctree.edge) =
+  let wire = (tech : Circuit.Tech.t).unit_cap *. e.Ctree.length in
+  match e.Ctree.child.Ctree.kind with
+  | Ctree.Sink { cap; _ } -> wire +. cap
+  | Ctree.Buf b -> wire +. Buffer_lib.input_cap tech b
+  | Ctree.Merge ->
+      List.fold_left
+        (fun acc c -> acc +. region_cap tech c)
+        wire e.Ctree.child.Ctree.children
+
+(* Enumerate a stage's endpoints (next buffers and sinks) with their path
+   lengths and Elmore side-load corrections: each off-path subtree hanging
+   at distance d from the driver adds (Rd + r d) * C_side to every
+   endpoint reached through that branch point. *)
+let stage_endpoints tech ~drive (root : Ctree.t) =
+  let rd = Buffer_lib.drive_resistance tech drive in
+  let unit_res = (tech : Circuit.Tech.t).unit_res in
+  let acc = ref [] in
+  let rec walk (n : Ctree.t) path_len side slew_sq =
+    match n.Ctree.kind with
+    | Ctree.Sink { cap; _ } ->
+        acc :=
+          { node = n; path_len; cap; side_correction = side;
+            side_slew_sq = slew_sq }
+          :: !acc
+    | Ctree.Buf b ->
+        acc :=
+          { node = n; path_len; cap = Buffer_lib.input_cap tech b;
+            side_correction = side; side_slew_sq = slew_sq }
+          :: !acc
+    | Ctree.Merge ->
+        List.iter
+          (fun (e : Ctree.edge) ->
+            let others =
+              List.filter (fun (o : Ctree.edge) -> o != e) n.Ctree.children
+            in
+            let c_off =
+              List.fold_left (fun s o -> s +. region_cap tech o) 0. others
+            in
+            let tau = (rd +. (unit_res *. path_len)) *. c_off in
+            (* An off-path load acts like an extra pole of time constant
+               tau: ~ln 9 * tau of added 10-90 transition, RSS-combined. *)
+            let dslew = 2.2 *. tau in
+            walk e.Ctree.child (path_len +. e.Ctree.length) (side +. tau)
+              (slew_sq +. (dslew *. dslew)))
+          n.Ctree.children
+  in
+  List.iter
+    (fun (e : Ctree.edge) -> walk e.Ctree.child e.Ctree.length 0. 0.)
+    root.Ctree.children;
+  List.rev !acc
+
+(* Is the stage exactly the characterized branch shape: a driver at a
+   fork whose two edges run straight (no intermediate merges) into
+   endpoints? *)
+let branch_shape (root : Ctree.t) =
+  match root.Ctree.children with
+  | [ e1; e2 ] -> (
+      match (e1.Ctree.child.Ctree.kind, e2.Ctree.child.Ctree.kind) with
+      | (Ctree.Sink _ | Ctree.Buf _), (Ctree.Sink _ | Ctree.Buf _) ->
+          Some (e1, e2)
+      | _, _ -> None)
+  | _ -> None
+
+let endpoint_cap tech (n : Ctree.t) =
+  match n.Ctree.kind with
+  | Ctree.Sink { cap; _ } -> cap
+  | Ctree.Buf b -> Buffer_lib.input_cap tech b
+  | Ctree.Merge -> 0.
+
+(* Analyze one stage: returns (endpoint node, delay from driver input,
+   slew at endpoint) for each endpoint. *)
+let analyze_stage dl (cfg : Cts_config.t) ~drive ~input_slew (root : Ctree.t)
+    =
+  let tech = Delaylib.tech dl in
+  ignore cfg;
+  match branch_shape root with
+  | Some (e1, e2) ->
+      let c1 = endpoint_cap tech e1.Ctree.child in
+      let c2 = endpoint_cap tech e2.Ctree.child in
+      let b =
+        Delaylib.eval_branch dl ~drive ~load_cap_left:c1 ~load_cap_right:c2
+          ~input_slew ~len_left:e1.Ctree.length ~len_right:e2.Ctree.length
+      in
+      (* Branch fits exclude the driver's intrinsic delay; take it from
+         the single-wire fit at the longer branch. *)
+      let intrinsic =
+        (Delaylib.eval_single dl ~drive ~load_cap:(c1 +. c2) ~input_slew
+           ~length:(Float.max e1.Ctree.length e2.Ctree.length))
+          .Delaylib.buf_delay
+      in
+      [
+        ( e1.Ctree.child,
+          intrinsic +. b.Delaylib.delay_left,
+          b.Delaylib.slew_left );
+        ( e2.Ctree.child,
+          intrinsic +. b.Delaylib.delay_right,
+          b.Delaylib.slew_right );
+      ]
+  | None ->
+      let eps = stage_endpoints tech ~drive root in
+      List.map
+        (fun ep ->
+          let ev =
+            Delaylib.eval_single dl ~drive ~load_cap:ep.cap ~input_slew
+              ~length:ep.path_len
+          in
+          let slew =
+            sqrt
+              ((ev.Delaylib.wire_slew *. ev.Delaylib.wire_slew)
+              +. ep.side_slew_sq)
+          in
+          ( ep.node,
+            ev.Delaylib.buf_delay +. ev.Delaylib.wire_delay
+            +. ep.side_correction,
+            slew ))
+        eps
+
+let stage_worst_slew dl cfg ~drive ~input_slew (region : Ctree.t) =
+  let endpoints = analyze_stage dl cfg ~drive ~input_slew region in
+  List.fold_left (fun acc (_, _, s) -> Float.max acc s) 0. endpoints
+
+let analyze_driven dl cfg ~drive ~input_slew (region : Ctree.t) =
+  (* Useful skew: sink arrivals are compared net of their prescribed
+     offsets, so balancing drives each sink toward its own target. *)
+  let offset name =
+    match List.assoc_opt name cfg.Cts_config.sink_offsets with
+    | Some o -> o
+    | None -> 0.
+  in
+  let sink_delays = ref [] in
+  let worst_slew = ref 0. in
+  (* Worklist: (driver type, input slew, arrival at driver input, region
+     root). *)
+  let queue = Queue.create () in
+  (match region.Ctree.kind with
+  | Ctree.Buf b -> Queue.add (b, input_slew, 0., region) queue
+  | Ctree.Merge -> Queue.add (drive, input_slew, 0., region) queue
+  | Ctree.Sink _ -> invalid_arg "Timing.analyze_driven: sink region");
+  while not (Queue.is_empty queue) do
+    let drv, slew_in, t0, root = Queue.pop queue in
+    let endpoints = analyze_stage dl cfg ~drive:drv ~input_slew:slew_in root in
+    List.iter
+      (fun ((n : Ctree.t), d, s) ->
+        if s > !worst_slew then worst_slew := s;
+        match n.Ctree.kind with
+        | Ctree.Sink { name; _ } ->
+            sink_delays := (name, t0 +. d -. offset name) :: !sink_delays
+        | Ctree.Buf b -> Queue.add (b, s, t0 +. d, n) queue
+        | Ctree.Merge -> assert false)
+      endpoints
+  done;
+  let delays = List.map snd !sink_delays in
+  match delays with
+  | [] -> invalid_arg "Timing.analyze_driven: no sinks reached"
+  | d :: rest ->
+      {
+        sink_delays = List.rev !sink_delays;
+        max_delay = List.fold_left Float.max d rest;
+        min_delay = List.fold_left Float.min d rest;
+        worst_slew = !worst_slew;
+      }
+
+let analyze_tree dl cfg ?(source_slew = 60e-12) tree =
+  match tree.Ctree.kind with
+  | Ctree.Buf _ -> analyze_driven dl cfg ~drive:cfg.Cts_config.assumed_driver
+                     ~input_slew:source_slew tree
+  | Ctree.Merge | Ctree.Sink _ ->
+      invalid_arg "Timing.analyze_tree: root must be the source driver"

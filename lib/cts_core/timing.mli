@@ -1,0 +1,48 @@
+(** Library-based top-down timing analysis.
+
+    Walks a (partial or complete) clock tree stage by stage, propagating
+    {e real estimated slews} through every buffer instead of the
+    bottom-up worst-case assumption: each stage's endpoint delays come
+    from the pre-characterized {!Delaylib} fits — branch fits when the
+    stage is exactly the characterized two-branch shape, single-wire fits
+    with Elmore side-load corrections otherwise.
+
+    This is the "accurate timing analysis engine" the paper credits for
+    keeping skew low under aggressive insertion: it drives the
+    binary-search stage of merge-routing and produces the per-subtree
+    delay/skew summaries the top level balances. *)
+
+type report = {
+  sink_delays : (string * float) list;
+      (** Delay from the driver's input to each sink (s), net of the
+          sink's useful-skew offset from {!Cts_config.t}
+          [sink_offsets] when one is scheduled. *)
+  max_delay : float;
+  min_delay : float;
+  worst_slew : float;  (** Worst estimated slew at any stage endpoint. *)
+}
+
+val skew : report -> float
+val mid_delay : report -> float
+(** Midpoint [(max + min) / 2] — the quantity merge-routing equalizes. *)
+
+val analyze_driven :
+  Delaylib.t -> Cts_config.t -> drive:Circuit.Buffer_lib.t ->
+  input_slew:float -> Ctree.t -> report
+(** [analyze_driven dl cfg ~drive ~input_slew region] analyzes the tree
+    whose root region is driven by a buffer of type [drive] placed at the
+    region root with the given input slew. The region root must not be a
+    sink. If the region root is itself a buffer, that buffer is analyzed
+    (and [drive] is ignored). *)
+
+val analyze_tree :
+  Delaylib.t -> Cts_config.t -> ?source_slew:float -> Ctree.t -> report
+(** Analyze a complete tree whose root is the source driver buffer. *)
+
+val stage_worst_slew :
+  Delaylib.t -> Cts_config.t -> drive:Circuit.Buffer_lib.t ->
+  input_slew:float -> Ctree.t -> float
+(** Worst endpoint slew of the single stage rooted at the given region
+    (down to the first buffers/sinks only) — the branch-aware slew check
+    merge-routing uses to decide whether a merge node needs its own
+    buffer. *)

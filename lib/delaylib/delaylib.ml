@@ -1,0 +1,578 @@
+module W = Waveform
+module T = Spice_sim.Transient
+module Tech = Circuit.Tech
+module Buffer_lib = Circuit.Buffer_lib
+module Rc_tree = Circuit.Rc_tree
+module Polyfit = Numerics.Polyfit
+
+let src = Logs.Src.create "delaylib" ~doc:"Delay/slew library characterization"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module Wave_gen = Wave_gen
+
+type profile = Fast | Accurate
+
+type single_fit = {
+  buf_delay_fit : Polyfit.surface2;
+  wire_delay_fit : Polyfit.surface2;
+  wire_slew_fit : Polyfit.surface2;
+}
+
+type branch_fit = {
+  delay_left_fit : Polyfit.surface3;
+  delay_right_fit : Polyfit.surface3;
+  slew_left_fit : Polyfit.surface3;
+  slew_right_fit : Polyfit.surface3;
+}
+
+type t = {
+  tech : Tech.t;
+  buffers : Buffer_lib.t list;
+  classes : float array;  (** Load-capacitance classes (F), ascending. *)
+  branch_classes : int array;  (** Indices into [classes] used for branches. *)
+  slew_lo : float;
+  slew_hi : float;
+  len_lo : float;
+  len_hi : float;
+  blen_lo : float;
+  blen_hi : float;
+  singles : (string * int, single_fit) Hashtbl.t;
+  branches : (string * int * int, branch_fit) Hashtbl.t;
+  residuals : (string * float * float) list;
+}
+
+type single_eval = { buf_delay : float; wire_delay : float; wire_slew : float }
+
+type branch_eval = {
+  delay_left : float;
+  delay_right : float;
+  slew_left : float;
+  slew_right : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Sweep definitions                                                   *)
+
+let ps x = x *. 1e-12
+
+let single_sweep = function
+  | Fast ->
+      (2, [ ps 30.; ps 80.; ps 150. ], [ 25.; 200.; 500.; 900.; 1400. ])
+  | Accurate ->
+      ( 4,
+        [ ps 20.; ps 40.; ps 70.; ps 100.; ps 140.; ps 190.; ps 250. ],
+        [ 10.; 60.; 150.; 300.; 500.; 750.; 1050.; 1400.; 1800. ] )
+
+(* Note: every sweep needs at least (degree + 1) distinct values per
+   dimension, otherwise high-order basis columns collapse onto lower ones
+   and mid-grid evaluation loses coefficient mass. *)
+let branch_sweep = function
+  | Fast -> (2, [ ps 40.; ps 80.; ps 120. ], [ 50.; 300.; 700.; 1100. ])
+  | Accurate ->
+      (3, [ ps 30.; ps 70.; ps 120.; ps 180. ], [ 25.; 150.; 400.; 700.; 1050. ])
+
+(* Gate class (a typical buffer input cap) plus three sink classes. *)
+let default_classes = [| 0.75e-15; 5e-15; 15e-15; 35e-15 |]
+let default_branch_classes = [| 0; 2; 3 |]
+
+let char_sim_config = { T.default_config with T.dt = 1e-12 }
+
+(* ------------------------------------------------------------------ *)
+(* Characterization circuits                                           *)
+
+let measure_single tech drive input ~length ~load_cap =
+  let load = Rc_tree.leaf ~tag:"load" load_cap in
+  let r, chain = Rc_tree.wire tech ~length load in
+  let tree = Rc_tree.node ~tag:"out" [ (r, chain) ] in
+  let res = T.simulate ~config:char_sim_config tech (T.Driven_buffer (drive, input)) tree in
+  let out = T.root_waveform res in
+  let vdd = tech.Tech.vdd in
+  match
+    ( W.delay_50 input out ~vdd,
+      T.stage_delay res ~input ~tag:"load",
+      T.node_slew res ~tag:"load" )
+  with
+  | Some bd, Some total, Some slew -> Some (bd, total -. bd, slew)
+  | _, _, _ -> None
+
+let measure_branch tech drive input ~len_left ~len_right ~cap_left ~cap_right =
+  let left = Rc_tree.leaf ~tag:"left" cap_left in
+  let right = Rc_tree.leaf ~tag:"right" cap_right in
+  let rl, cl = Rc_tree.wire tech ~length:len_left left in
+  let rr, cr = Rc_tree.wire tech ~length:len_right right in
+  let tree = Rc_tree.node ~tag:"out" [ (rl, cl); (rr, cr) ] in
+  let res = T.simulate ~config:char_sim_config tech (T.Driven_buffer (drive, input)) tree in
+  let out = T.root_waveform res in
+  let vdd = tech.Tech.vdd in
+  let delay_from_out tag =
+    match W.delay_50 out (T.waveform res tag) ~vdd with
+    | Some d -> d
+    | None -> invalid_arg "Delaylib: branch load did not rise"
+  in
+  let slew_at tag =
+    match T.node_slew res ~tag with
+    | Some s -> s
+    | None -> invalid_arg "Delaylib: branch slew unavailable"
+  in
+  ( delay_from_out "left",
+    delay_from_out "right",
+    slew_at "left",
+    slew_at "right" )
+
+(* ------------------------------------------------------------------ *)
+(* Fitting                                                             *)
+
+let residual_stats label fit_eval pts expected =
+  let predicted = Array.map fit_eval pts in
+  let rms = Util.Stats.rms_error predicted expected in
+  let worst = Util.Stats.max_abs_error predicted expected in
+  (label, rms, worst)
+
+let characterize ?(profile = Accurate) tech buffers =
+  if buffers = [] then invalid_arg "Delaylib.characterize: no buffers";
+  let deg_s, slews, lens = single_sweep profile in
+  let deg_b, bslews, blens = branch_sweep profile in
+  let classes = default_classes in
+  let branch_classes = default_branch_classes in
+  (* Input waveforms shaped by a real input buffer, one per slew value. *)
+  let binput = Buffer_lib.smallest buffers in
+  let all_slews = List.sort_uniq Float.compare (slews @ bslews) in
+  let waves =
+    List.map
+      (fun s ->
+        Log.debug (fun m -> m "input wave for slew %.0f ps" (s *. 1e12));
+        (s, Wave_gen.buffer_output_wave tech binput ~slew:s))
+      all_slews
+  in
+  let wave_for s = List.assoc s waves in
+  let singles = Hashtbl.create 16 in
+  let branches = Hashtbl.create 16 in
+  let residuals = ref [] in
+  List.iter
+    (fun (drive : Buffer_lib.t) ->
+      Array.iteri
+        (fun ci load_cap ->
+          let pts = ref [] and bd = ref [] and wd = ref [] and ws = ref [] in
+          List.iter
+            (fun slew ->
+              let input = wave_for slew in
+              List.iter
+                (fun length ->
+                  match measure_single tech drive input ~length ~load_cap with
+                  | Some (b, w, s) ->
+                      pts := (slew, length) :: !pts;
+                      bd := b :: !bd;
+                      wd := w :: !wd;
+                      ws := s :: !ws
+                  | None ->
+                      Log.warn (fun m ->
+                          m "dropping unsettled sample %s/%d L=%g" drive.name
+                            ci length))
+                lens)
+            slews;
+          let pts = Array.of_list (List.rev !pts) in
+          let bd = Array.of_list (List.rev !bd) in
+          let wd = Array.of_list (List.rev !wd) in
+          let ws = Array.of_list (List.rev !ws) in
+          let fit = Polyfit.fit2 ~degree:deg_s in
+          let f =
+            {
+              buf_delay_fit = fit pts bd;
+              wire_delay_fit = fit pts wd;
+              wire_slew_fit = fit pts ws;
+            }
+          in
+          Hashtbl.replace singles (drive.Buffer_lib.name, ci) f;
+          let lbl kind = Printf.sprintf "%s/c%d/%s" drive.name ci kind in
+          residuals :=
+            residual_stats (lbl "buf_delay")
+              (fun (s, l) -> Polyfit.eval2 f.buf_delay_fit s l)
+              pts bd
+            :: residual_stats (lbl "wire_delay")
+                 (fun (s, l) -> Polyfit.eval2 f.wire_delay_fit s l)
+                 pts wd
+            :: residual_stats (lbl "wire_slew")
+                 (fun (s, l) -> Polyfit.eval2 f.wire_slew_fit s l)
+                 pts ws
+            :: !residuals)
+        classes;
+      (* Branch components: only over the designated branch classes. *)
+      Array.iter
+        (fun cl ->
+          Array.iter
+            (fun cr ->
+              if cl <= cr then begin
+                let pts = ref []
+                and dl = ref []
+                and dr = ref []
+                and sl = ref []
+                and sr = ref [] in
+                List.iter
+                  (fun slew ->
+                    let input = wave_for slew in
+                    List.iter
+                      (fun len_left ->
+                        List.iter
+                          (fun len_right ->
+                            let a, b, c, d =
+                              measure_branch tech drive input ~len_left
+                                ~len_right ~cap_left:classes.(cl)
+                                ~cap_right:classes.(cr)
+                            in
+                            pts := (slew, len_left, len_right) :: !pts;
+                            dl := a :: !dl;
+                            dr := b :: !dr;
+                            sl := c :: !sl;
+                            sr := d :: !sr)
+                          blens)
+                      blens)
+                  bslews;
+                let pts = Array.of_list (List.rev !pts) in
+                let arr r = Array.of_list (List.rev !r) in
+                let fit = Polyfit.fit3 ~degree:deg_b in
+                let f =
+                  {
+                    delay_left_fit = fit pts (arr dl);
+                    delay_right_fit = fit pts (arr dr);
+                    slew_left_fit = fit pts (arr sl);
+                    slew_right_fit = fit pts (arr sr);
+                  }
+                in
+                Hashtbl.replace branches (drive.Buffer_lib.name, cl, cr) f;
+                let lbl kind =
+                  Printf.sprintf "%s/b%d-%d/%s" drive.name cl cr kind
+                in
+                residuals :=
+                  residual_stats (lbl "delay_left")
+                    (fun (s, a, b) -> Polyfit.eval3 f.delay_left_fit s a b)
+                    pts (arr dl)
+                  :: residual_stats (lbl "slew_left")
+                       (fun (s, a, b) -> Polyfit.eval3 f.slew_left_fit s a b)
+                       pts (arr sl)
+                  :: !residuals
+              end)
+            branch_classes)
+        branch_classes)
+    buffers;
+  {
+    tech;
+    buffers;
+    classes;
+    branch_classes;
+    slew_lo = List.hd slews;
+    slew_hi = List.fold_left Float.max 0. slews;
+    len_lo = List.hd lens;
+    len_hi = List.fold_left Float.max 0. lens;
+    blen_lo = List.hd blens;
+    blen_hi = List.fold_left Float.max 0. blens;
+    singles;
+    branches;
+    residuals = List.rev !residuals;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Lookup                                                              *)
+
+let clamp lo hi x = Float.max lo (Float.min hi x)
+
+let class_index t cap =
+  let best = ref 0 and best_d = ref Float.infinity in
+  Array.iteri
+    (fun i c ->
+      let d = Float.abs (log (cap /. c)) in
+      if d < !best_d then begin
+        best := i;
+        best_d := d
+      end)
+    t.classes;
+  !best
+
+let branch_class_index t cap =
+  let best = ref t.branch_classes.(0) and best_d = ref Float.infinity in
+  Array.iter
+    (fun i ->
+      let d = Float.abs (log (cap /. t.classes.(i))) in
+      if d < !best_d then begin
+        best := i;
+        best_d := d
+      end)
+    t.branch_classes;
+  !best
+
+let find_single t (drive : Buffer_lib.t) cap =
+  let ci = class_index t cap in
+  match Hashtbl.find_opt t.singles (drive.Buffer_lib.name, ci) with
+  | Some f -> f
+  | None -> invalid_arg ("Delaylib: unknown drive buffer " ^ drive.name)
+
+let eval_single t ~drive ~load_cap ~input_slew ~length =
+  let f = find_single t drive load_cap in
+  let s = clamp t.slew_lo t.slew_hi input_slew in
+  let l = clamp t.len_lo t.len_hi length in
+  {
+    buf_delay = Float.max 0. (Polyfit.eval2 f.buf_delay_fit s l);
+    wire_delay = Float.max 0. (Polyfit.eval2 f.wire_delay_fit s l);
+    wire_slew = Float.max 1e-13 (Polyfit.eval2 f.wire_slew_fit s l);
+  }
+
+let eval_branch t ~drive ~load_cap_left ~load_cap_right ~input_slew ~len_left
+    ~len_right =
+  let cl = branch_class_index t load_cap_left in
+  let cr = branch_class_index t load_cap_right in
+  let s = clamp t.slew_lo t.slew_hi input_slew in
+  let ll = clamp t.blen_lo t.blen_hi len_left in
+  let lr = clamp t.blen_lo t.blen_hi len_right in
+  (* Fits are stored for cl <= cr; mirror otherwise. *)
+  let key, ll, lr, mirrored =
+    if cl <= cr then ((drive.Buffer_lib.name, cl, cr), ll, lr, false)
+    else ((drive.Buffer_lib.name, cr, cl), lr, ll, true)
+  in
+  let f =
+    match Hashtbl.find_opt t.branches key with
+    | Some f -> f
+    | None -> invalid_arg ("Delaylib: unknown branch config " ^ drive.name)
+  in
+  let dl = Float.max 0. (Polyfit.eval3 f.delay_left_fit s ll lr) in
+  let dr = Float.max 0. (Polyfit.eval3 f.delay_right_fit s ll lr) in
+  let sl = Float.max 1e-13 (Polyfit.eval3 f.slew_left_fit s ll lr) in
+  let sr = Float.max 1e-13 (Polyfit.eval3 f.slew_right_fit s ll lr) in
+  if mirrored then
+    { delay_left = dr; delay_right = dl; slew_left = sr; slew_right = sl }
+  else { delay_left = dl; delay_right = dr; slew_left = sl; slew_right = sr }
+
+let max_length_for_slew t ~drive ~load_cap ~input_slew ~slew_limit =
+  let slew_at l = (eval_single t ~drive ~load_cap ~input_slew ~length:l).wire_slew in
+  if slew_at t.len_hi <= slew_limit then t.len_hi
+  else if slew_at t.len_lo >= slew_limit then t.len_lo
+  else
+    Numerics.Roots.bisect ~tol:1. (fun l -> slew_at l -. slew_limit) t.len_lo
+      t.len_hi
+
+let load_class_cap t cap = t.classes.(class_index t cap)
+let buffers t = t.buffers
+let tech t = t.tech
+let len_domain t = (t.len_lo, t.len_hi)
+let slew_domain t = (t.slew_lo, t.slew_hi)
+let fit_report t = t.residuals
+
+let sample_grid_single t ~drive ~load_cap =
+  let grid = ref [] in
+  let n = 8 in
+  for i = 0 to n do
+    for j = 0 to n do
+      let s =
+        t.slew_lo +. (float_of_int i /. float_of_int n *. (t.slew_hi -. t.slew_lo))
+      in
+      let l =
+        t.len_lo +. (float_of_int j /. float_of_int n *. (t.len_hi -. t.len_lo))
+      in
+      grid := (s, l, eval_single t ~drive ~load_cap ~input_slew:s ~length:l) :: !grid
+    done
+  done;
+  List.rev !grid
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+
+let save t path =
+  let oc = open_out path in
+  let pf fmt = Printf.fprintf oc fmt in
+  (try
+     pf "delaylib v1\n";
+     pf "tech %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g\n"
+       t.tech.Tech.vdd t.tech.Tech.vt t.tech.Tech.alpha t.tech.Tech.vdsat_frac
+       t.tech.Tech.k_per_x t.tech.Tech.gate_cap_per_x t.tech.Tech.drain_cap_per_x
+       t.tech.Tech.unit_res t.tech.Tech.unit_cap;
+     pf "buffers %d\n" (List.length t.buffers);
+     List.iter
+       (fun (b : Buffer_lib.t) -> pf "buffer %s %.17g\n" b.name b.size)
+       t.buffers;
+     pf "classes %s\n"
+       (String.concat " "
+          (Array.to_list (Array.map (Printf.sprintf "%.17g") t.classes)));
+     pf "branch_classes %s\n"
+       (String.concat " "
+          (Array.to_list (Array.map string_of_int t.branch_classes)));
+     pf "domains %.17g %.17g %.17g %.17g %.17g %.17g\n" t.slew_lo t.slew_hi
+       t.len_lo t.len_hi t.blen_lo t.blen_hi;
+     Hashtbl.iter
+       (fun (name, ci) f ->
+         pf "single %s %d\n" name ci;
+         pf "S %s\n" (Polyfit.surface2_to_string f.buf_delay_fit);
+         pf "S %s\n" (Polyfit.surface2_to_string f.wire_delay_fit);
+         pf "S %s\n" (Polyfit.surface2_to_string f.wire_slew_fit))
+       t.singles;
+     Hashtbl.iter
+       (fun (name, cl, cr) f ->
+         pf "branch %s %d %d\n" name cl cr;
+         pf "T %s\n" (Polyfit.surface3_to_string f.delay_left_fit);
+         pf "T %s\n" (Polyfit.surface3_to_string f.delay_right_fit);
+         pf "T %s\n" (Polyfit.surface3_to_string f.slew_left_fit);
+         pf "T %s\n" (Polyfit.surface3_to_string f.slew_right_fit))
+       t.branches;
+     List.iter
+       (fun (label, rms, worst) -> pf "residual %s %.17g %.17g\n" label rms worst)
+       t.residuals;
+     pf "end\n"
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let next () = try Some (input_line ic) with End_of_file -> None in
+  let fail msg =
+    close_in_noerr ic;
+    failwith ("Delaylib.load: " ^ msg)
+  in
+  let expect_prefix prefix line =
+    if not (String.length line >= String.length prefix
+            && String.sub line 0 (String.length prefix) = prefix)
+    then fail (Printf.sprintf "expected %S, got %S" prefix line)
+  in
+  let surface_line kind =
+    match next () with
+    | Some line ->
+        expect_prefix (kind ^ " ") line;
+        String.sub line 2 (String.length line - 2)
+    | None -> fail "unexpected EOF in surface"
+  in
+  (match next () with
+  | Some "delaylib v1" -> ()
+  | _ -> fail "bad magic");
+  let tech =
+    match next () with
+    | Some line -> (
+        match String.split_on_char ' ' line with
+        | "tech" :: rest -> (
+            match List.map float_of_string rest with
+            | [ vdd; vt; alpha; vdsat_frac; k; gc; dc; ur; uc ] ->
+                {
+                  Tech.vdd;
+                  vt;
+                  alpha;
+                  vdsat_frac;
+                  k_per_x = k;
+                  gate_cap_per_x = gc;
+                  drain_cap_per_x = dc;
+                  unit_res = ur;
+                  unit_cap = uc;
+                }
+            | _ -> fail "tech arity")
+        | _ -> fail "expected tech")
+    | None -> fail "EOF"
+  in
+  let n_buffers =
+    match next () with
+    | Some line -> (
+        match String.split_on_char ' ' line with
+        | [ "buffers"; n ] -> int_of_string n
+        | _ -> fail "expected buffers")
+    | None -> fail "EOF"
+  in
+  let buffers =
+    List.init n_buffers (fun _ ->
+        match next () with
+        | Some line -> (
+            match String.split_on_char ' ' line with
+            | [ "buffer"; name; size ] ->
+                Buffer_lib.make ~name ~size:(float_of_string size)
+            | _ -> fail "expected buffer")
+        | None -> fail "EOF")
+  in
+  let classes =
+    match next () with
+    | Some line -> (
+        match String.split_on_char ' ' line with
+        | "classes" :: rest ->
+            Array.of_list (List.map float_of_string rest)
+        | _ -> fail "expected classes")
+    | None -> fail "EOF"
+  in
+  let branch_classes =
+    match next () with
+    | Some line -> (
+        match String.split_on_char ' ' line with
+        | "branch_classes" :: rest ->
+            Array.of_list (List.map int_of_string rest)
+        | _ -> fail "expected branch_classes")
+    | None -> fail "EOF"
+  in
+  let slew_lo, slew_hi, len_lo, len_hi, blen_lo, blen_hi =
+    match next () with
+    | Some line -> (
+        match String.split_on_char ' ' line with
+        | [ "domains"; a; b; c; d; e; f ] ->
+            ( float_of_string a,
+              float_of_string b,
+              float_of_string c,
+              float_of_string d,
+              float_of_string e,
+              float_of_string f )
+        | _ -> fail "expected domains")
+    | None -> fail "EOF"
+  in
+  let singles = Hashtbl.create 16 in
+  let branches = Hashtbl.create 16 in
+  let residuals = ref [] in
+  let rec loop () =
+    match next () with
+    | None -> fail "missing end marker"
+    | Some "end" -> ()
+    | Some line ->
+        (match String.split_on_char ' ' line with
+        | [ "single"; name; ci ] ->
+            (* Field evaluation order in record literals is unspecified;
+               read the lines in explicit sequence. *)
+            let buf_delay_fit = Polyfit.surface2_of_string (surface_line "S") in
+            let wire_delay_fit = Polyfit.surface2_of_string (surface_line "S") in
+            let wire_slew_fit = Polyfit.surface2_of_string (surface_line "S") in
+            Hashtbl.replace singles
+              (name, int_of_string ci)
+              { buf_delay_fit; wire_delay_fit; wire_slew_fit }
+        | [ "branch"; name; cl; cr ] ->
+            let delay_left_fit = Polyfit.surface3_of_string (surface_line "T") in
+            let delay_right_fit = Polyfit.surface3_of_string (surface_line "T") in
+            let slew_left_fit = Polyfit.surface3_of_string (surface_line "T") in
+            let slew_right_fit = Polyfit.surface3_of_string (surface_line "T") in
+            Hashtbl.replace branches
+              (name, int_of_string cl, int_of_string cr)
+              { delay_left_fit; delay_right_fit; slew_left_fit; slew_right_fit }
+        | "residual" :: label :: rms :: worst :: [] ->
+            residuals :=
+              (label, float_of_string rms, float_of_string worst) :: !residuals
+        | _ -> fail ("unrecognized line: " ^ line));
+        loop ()
+  in
+  loop ();
+  close_in ic;
+  {
+    tech;
+    buffers;
+    classes;
+    branch_classes;
+    slew_lo;
+    slew_hi;
+    len_lo;
+    len_hi;
+    blen_lo;
+    blen_hi;
+    singles;
+    branches;
+    residuals = List.rev !residuals;
+  }
+
+let load_or_characterize ?(profile = Accurate) ~cache tech buffers =
+  if Sys.file_exists cache then
+    try load cache
+    with _ ->
+      let t = characterize ~profile tech buffers in
+      save t cache;
+      t
+  else begin
+    let t = characterize ~profile tech buffers in
+    (try save t cache with Sys_error _ -> ());
+    t
+  end

@@ -1,0 +1,102 @@
+(** The pre-characterized delay/slew library (Chapter 3 of the paper).
+
+    For every combination of driving-buffer type and load class, single
+    wire stages are simulated over a sweep of (input slew, wire length)
+    and three quantities are fitted as polynomial surfaces:
+
+    - buffer intrinsic delay (input 50% -> buffer output 50%),
+    - wire delay (buffer output 50% -> load 50%),
+    - wire output slew (10%-90% at the load).
+
+    Branch (two-way) components are likewise fitted as trivariate
+    polynomials over (input slew, left length, right length), per
+    (drive, left-class, right-class).
+
+    Input waveforms are realistic buffer-output shapes produced by
+    {!Wave_gen}, not ideal ramps — the whole point of Sec. 3.1.
+
+    Load classes quantize load capacitance. Components ending in a sink
+    are looked up through the class nearest the sink's capacitance,
+    mirroring the paper's "approximate by a buffer of similar load
+    capacitance". *)
+
+module Wave_gen = Wave_gen
+(** Re-exported: characterization input waveform generation. *)
+
+type t
+
+type profile = Fast | Accurate
+(** Sweep density / fit order. [Fast] (degree 3, coarse sweep) is for
+    tests; [Accurate] (degree 4 singles, degree 3 branches, dense sweep)
+    is for experiments. *)
+
+val characterize :
+  ?profile:profile -> Circuit.Tech.t -> Circuit.Buffer_lib.t list -> t
+(** Run all characterization simulations and fit. Seconds to tens of
+    seconds depending on profile; see {!load_or_characterize} for the
+    cached entry point. *)
+
+val save : t -> string -> unit
+(** Write the fitted library to a text file. *)
+
+val load : string -> t
+(** Read a library back; raises [Failure] on malformed input. *)
+
+val load_or_characterize :
+  ?profile:profile -> cache:string -> Circuit.Tech.t ->
+  Circuit.Buffer_lib.t list -> t
+(** Load from [cache] when present and readable, otherwise characterize
+    and save to [cache]. *)
+
+type single_eval = {
+  buf_delay : float;  (** Driving-buffer intrinsic delay (s). *)
+  wire_delay : float;  (** Buffer output -> load 50%-50% (s). *)
+  wire_slew : float;  (** 10%-90% at the load (s). *)
+}
+
+val eval_single :
+  t -> drive:Circuit.Buffer_lib.t -> load_cap:float -> input_slew:float ->
+  length:float -> single_eval
+(** Look up a single-wire component. Inputs are clamped into the
+    characterized domain. *)
+
+type branch_eval = {
+  delay_left : float;
+  delay_right : float;
+  slew_left : float;
+  slew_right : float;
+}
+
+val eval_branch :
+  t -> drive:Circuit.Buffer_lib.t -> load_cap_left:float ->
+  load_cap_right:float -> input_slew:float -> len_left:float ->
+  len_right:float -> branch_eval
+(** Look up a branch component (wire delays measured from the driving
+    buffer's output to each load). *)
+
+val max_length_for_slew :
+  t -> drive:Circuit.Buffer_lib.t -> load_cap:float -> input_slew:float ->
+  slew_limit:float -> float
+(** Longest wire this driver can drive while keeping the load slew within
+    [slew_limit], assuming the given input slew; clamped to the
+    characterized length domain. *)
+
+val buffers : t -> Circuit.Buffer_lib.t list
+val tech : t -> Circuit.Tech.t
+
+val len_domain : t -> float * float
+val slew_domain : t -> float * float
+
+val load_class_cap : t -> float -> float
+(** Representative capacitance of the load class a given capacitance maps
+    to — stable across nearby caps, usable as a memoization key. *)
+
+val fit_report : t -> (string * float * float) list
+(** Per-fit [(label, rms residual, max |residual|)] against the
+    characterization samples, in seconds. *)
+
+val sample_grid_single :
+  t -> drive:Circuit.Buffer_lib.t -> load_cap:float ->
+  (float * float * single_eval) list
+(** Evaluate the fitted surfaces on a display grid of
+    [(input slew, length, values)] — used to regenerate Fig. 3.4. *)

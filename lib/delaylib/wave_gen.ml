@@ -1,0 +1,54 @@
+module W = Waveform
+module T = Spice_sim.Transient
+
+let l_min = 1.
+let l_max = 4000.
+
+let slew_for_length tech binput len =
+  let load = Circuit.Rc_tree.leaf ~tag:"gate" 1e-15 in
+  let r, chain = Circuit.Rc_tree.wire tech ~length:len load in
+  let tree = Circuit.Rc_tree.node [ (r, chain) ] in
+  let input = W.smooth_curve ~vdd:tech.Circuit.Tech.vdd ~slew:60e-12 () in
+  let res = T.simulate tech (T.Driven_buffer (binput, input)) tree in
+  let wave = T.waveform res "gate" in
+  match W.slew_10_90 wave ~vdd:tech.Circuit.Tech.vdd with
+  | Some s -> (s, wave)
+  | None -> invalid_arg "Wave_gen: characterization stage did not rise"
+
+let achievable_slew_range tech binput =
+  (fst (slew_for_length tech binput l_min), fst (slew_for_length tech binput l_max))
+
+let normalize tech wave =
+  (* Shift so the 1%-Vdd crossing sits at t = 0. *)
+  let vdd = tech.Circuit.Tech.vdd in
+  match W.crossing wave (0.01 *. vdd) with
+  | Some t -> W.shift wave (-.t)
+  | None -> wave
+
+let buffer_output_wave ?(tol = 2e-12) tech binput ~slew =
+  let s_min, s_max = achievable_slew_range tech binput in
+  if slew <= s_min then normalize tech (snd (slew_for_length tech binput l_min))
+  else if slew >= s_max then
+    normalize tech (snd (slew_for_length tech binput l_max))
+  else begin
+    (* Bisection on wire length: slew grows monotonically with length. *)
+    let lo = ref l_min and hi = ref l_max in
+    let best = ref None in
+    let iter = ref 0 in
+    while
+      !iter < 24
+      &&
+      match !best with
+      | Some (s, _) -> Float.abs (s -. slew) > tol
+      | None -> true
+    do
+      incr iter;
+      let mid = (!lo +. !hi) /. 2. in
+      let s, w = slew_for_length tech binput mid in
+      best := Some (s, w);
+      if s < slew then lo := mid else hi := mid
+    done;
+    match !best with
+    | Some (_, w) -> normalize tech w
+    | None -> assert false
+  end

@@ -1,0 +1,23 @@
+(** Realistic characterization input waveforms.
+
+    Section 3.2 of the paper prepends an input buffer [Binput] and a wire
+    of length [Linput] to every characterization circuit so that the
+    measured buffer sees a {e real buffer-output waveform} rather than an
+    ideal ramp (Fig. 3.1/3.3); [Linput] is adjusted to hit each target
+    input slew. This module reproduces that scheme: it bisects the input
+    wire length until the waveform arriving at the measured gate has the
+    requested 10%-90% slew, and returns that waveform (time-shifted to
+    start at 0). *)
+
+val buffer_output_wave :
+  ?tol:float -> Circuit.Tech.t -> Circuit.Buffer_lib.t -> slew:float ->
+  Waveform.t
+(** [buffer_output_wave tech binput ~slew] produces a waveform with the
+    requested slew (within [tol], default 2 ps), shaped by [binput]
+    driving a bisected-length wire into a 1 fF gate. Slews below what a
+    minimal wire can produce saturate at the minimum achievable slew. *)
+
+val achievable_slew_range :
+  Circuit.Tech.t -> Circuit.Buffer_lib.t -> float * float
+(** Minimum and maximum slews reachable with wire lengths in
+    [1, 4000] um. *)

@@ -1,0 +1,48 @@
+(** Classical Deferred-Merge Embedding clock tree synthesis.
+
+    The baseline family of Sec. 2.2: bottom-up merge-segment construction
+    under the Elmore model (zero skew by construction), Edahiro-style
+    levelized topology generation, and top-down embedding. Two flavours:
+
+    - {!synthesize}: unbuffered zero-skew tree (Chao/Tsay/Edahiro);
+    - {!synthesize_buffered}: buffers inserted {e only at merge nodes}
+      sized by downstream capacitance — the restriction of prior work
+      ([6, 8, 16]) that the paper's aggressive insertion removes. *)
+
+val synthesize :
+  ?beta:float -> Circuit.Tech.t -> Sinks.spec list -> Ctree.t
+(** Unbuffered zero-skew DME tree; the root is a {!Ctree.Merge} node (or
+    a sink for singleton inputs). [beta] is the topology cost weight of
+    {!Topology.level_pairing}. *)
+
+val synthesize_bounded :
+  ?beta:float -> skew_bound:float -> Circuit.Tech.t -> Sinks.spec list ->
+  Ctree.t
+(** Bounded-skew DME (the BST algorithm of ref [4], whose bookshelf the
+    GSRC benchmarks come from): subtree delays are intervals and merges
+    only balance to within [skew_bound], trading skew for wirelength —
+    the classic BST curve. [skew_bound = 0] reproduces {!synthesize}'s
+    zero-skew behaviour. Unbuffered; root is a {!Ctree.Merge}. *)
+
+val synthesize_buffered :
+  ?beta:float -> ?cap_limit:float -> Circuit.Tech.t ->
+  Circuit.Buffer_lib.t list -> Sinks.spec list -> Ctree.t
+(** Merge-node-only buffered DME: whenever the downstream capacitance at
+    a fresh merge node exceeds [cap_limit] (default 60 fF), a buffer
+    (sized by load) is placed on the merge node. A root driver buffer is
+    always added, so the result is directly simulatable. *)
+
+val elmore_latency : Circuit.Tech.t -> Ctree.t -> (string * float) list
+(** Per-sink Elmore delay of an embedded tree using the distributed-wire
+    formula [alpha l (beta l / 2 + c_down)]; buffers contribute an
+    estimated RC switch delay. For unbuffered trees this reproduces the
+    delays the merge segments balanced — the zero-skew invariant checked
+    by the tests. *)
+
+val elmore_skew : Circuit.Tech.t -> Ctree.t -> float
+(** Max minus min of {!elmore_latency}. *)
+
+val buffer_delay_estimate :
+  Circuit.Tech.t -> Circuit.Buffer_lib.t -> load:float -> float
+(** First-order buffer delay (intrinsic + drive resistance x load) used
+    by the buffered baseline. *)

@@ -1,0 +1,26 @@
+(** Axis-aligned bounding boxes. *)
+
+type t = { xmin : float; ymin : float; xmax : float; ymax : float }
+
+val make : float -> float -> float -> float -> t
+(** [make xmin ymin xmax ymax]. Raises [Invalid_argument] when inverted. *)
+
+val of_points : Point.t list -> t
+(** Tight box around a non-empty list of points. *)
+
+val width : t -> float
+val height : t -> float
+
+val longest_side : t -> float
+(** The larger of width and height — the parameter [l] of the paper's
+    complexity analysis. *)
+
+val half_perimeter : t -> float
+
+val expand : t -> float -> t
+(** Grow by a margin on every side. *)
+
+val contains : t -> Point.t -> bool
+val center : t -> Point.t
+val union : t -> t -> t
+val pp : Format.formatter -> t -> unit

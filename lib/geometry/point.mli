@@ -1,0 +1,31 @@
+(** Planar points with Manhattan (L1) geometry.
+
+    Coordinates are floats in micrometres. Clock routing is rectilinear,
+    so the Manhattan distance is the routing distance between two points. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+val origin : t
+
+val manhattan : t -> t -> float
+(** [manhattan a b] is [|ax - bx| + |ay - by|]. *)
+
+val euclidean : t -> t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+val lerp : t -> t -> float -> t
+(** [lerp a b t] is the affine interpolation [(1-t)*a + t*b]. *)
+
+val midpoint : t -> t -> t
+
+val centroid : t list -> t
+(** Arithmetic mean of a non-empty list of points. *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Componentwise comparison with absolute tolerance [eps] (default 1e-9). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,126 @@
+type t = { r : int; c : int; a : float array }
+
+let create r c =
+  if r <= 0 || c <= 0 then invalid_arg "Matrix.create";
+  { r; c; a = Array.make (r * c) 0. }
+
+let rows m = m.r
+let cols m = m.c
+let get m i j = m.a.((i * m.c) + j)
+let set m i j v = m.a.((i * m.c) + j) <- v
+
+let of_arrays rows_arr =
+  let r = Array.length rows_arr in
+  if r = 0 then invalid_arg "Matrix.of_arrays: no rows";
+  let c = Array.length rows_arr.(0) in
+  let m = create r c in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> c then invalid_arg "Matrix.of_arrays: ragged";
+      Array.iteri (fun j v -> set m i j v) row)
+    rows_arr;
+  m
+
+let copy m = { m with a = Array.copy m.a }
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    set m i i 1.
+  done;
+  m
+
+let transpose m =
+  let t = create m.c m.r in
+  for i = 0 to m.r - 1 do
+    for j = 0 to m.c - 1 do
+      set t j i (get m i j)
+    done
+  done;
+  t
+
+let mul a b =
+  if a.c <> b.r then invalid_arg "Matrix.mul: dimension mismatch";
+  let m = create a.r b.c in
+  for i = 0 to a.r - 1 do
+    for k = 0 to a.c - 1 do
+      let aik = get a i k in
+      if aik <> 0. then
+        for j = 0 to b.c - 1 do
+          set m i j (get m i j +. (aik *. get b k j))
+        done
+    done
+  done;
+  m
+
+let mul_vec a v =
+  if a.c <> Array.length v then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init a.r (fun i ->
+      let acc = ref 0. in
+      for j = 0 to a.c - 1 do
+        acc := !acc +. (get a i j *. v.(j))
+      done;
+      !acc)
+
+let solve a0 b0 =
+  if a0.r <> a0.c then invalid_arg "Matrix.solve: not square";
+  if a0.r <> Array.length b0 then invalid_arg "Matrix.solve: rhs size";
+  let n = a0.r in
+  let a = copy a0 and b = Array.copy b0 in
+  for col = 0 to n - 1 do
+    (* Partial pivoting. *)
+    let piv = ref col in
+    for i = col + 1 to n - 1 do
+      if Float.abs (get a i col) > Float.abs (get a !piv col) then piv := i
+    done;
+    if Float.abs (get a !piv col) < 1e-300 then
+      failwith "Matrix.solve: singular matrix";
+    if !piv <> col then begin
+      for j = 0 to n - 1 do
+        let t = get a col j in
+        set a col j (get a !piv j);
+        set a !piv j t
+      done;
+      let t = b.(col) in
+      b.(col) <- b.(!piv);
+      b.(!piv) <- t
+    end;
+    let d = get a col col in
+    for i = col + 1 to n - 1 do
+      let f = get a i col /. d in
+      if f <> 0. then begin
+        for j = col to n - 1 do
+          set a i j (get a i j -. (f *. get a col j))
+        done;
+        b.(i) <- b.(i) -. (f *. b.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0. in
+  for i = n - 1 downto 0 do
+    let acc = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get a i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get a i i
+  done;
+  x
+
+let lstsq a b =
+  if a.r <> Array.length b then invalid_arg "Matrix.lstsq: rhs size";
+  let at = transpose a in
+  let ata = mul at a in
+  let n = ata.r in
+  for i = 0 to n - 1 do
+    set ata i i (get ata i i +. 1e-12)
+  done;
+  let atb = mul_vec at b in
+  solve ata atb
+
+let pp fmt m =
+  for i = 0 to m.r - 1 do
+    for j = 0 to m.c - 1 do
+      Format.fprintf fmt "%10.4g " (get m i j)
+    done;
+    Format.pp_print_newline fmt ()
+  done

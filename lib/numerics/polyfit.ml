@@ -1,0 +1,169 @@
+(* Surfaces store, per input dimension, the affine normalization
+   (center, half-width) used during fitting, plus the monomial exponent
+   list and fitted coefficients. *)
+
+type surface2 = {
+  degree2 : int;
+  cx2 : float;
+  hx2 : float;
+  cy2 : float;
+  hy2 : float;
+  coefs2 : float array; (* indexed like monomials2 degree2 *)
+}
+
+type surface3 = {
+  degree3 : int;
+  cx3 : float;
+  hx3 : float;
+  cy3 : float;
+  hy3 : float;
+  cz3 : float;
+  hz3 : float;
+  coefs3 : float array;
+}
+
+let monomials2 degree =
+  let acc = ref [] in
+  for i = degree downto 0 do
+    for j = degree - i downto 0 do
+      acc := (i, j) :: !acc
+    done
+  done;
+  Array.of_list !acc
+
+let monomials3 degree =
+  let acc = ref [] in
+  for i = degree downto 0 do
+    for j = degree - i downto 0 do
+      for k = degree - i - j downto 0 do
+        acc := (i, j, k) :: !acc
+      done
+    done
+  done;
+  Array.of_list !acc
+
+let n_terms2 d = Array.length (monomials2 d)
+let n_terms3 d = Array.length (monomials3 d)
+
+let norm_params values =
+  let lo = Array.fold_left Float.min values.(0) values
+  and hi = Array.fold_left Float.max values.(0) values in
+  let c = (lo +. hi) /. 2. in
+  let h = (hi -. lo) /. 2. in
+  (c, if h > 0. then h else 1.)
+
+let pow x n =
+  let rec go acc n = if n = 0 then acc else go (acc *. x) (n - 1) in
+  go 1. n
+
+let fit2 ~degree pts zs =
+  let n = Array.length pts in
+  if n <> Array.length zs then invalid_arg "Polyfit.fit2: length mismatch";
+  let mons = monomials2 degree in
+  if n < Array.length mons then invalid_arg "Polyfit.fit2: underdetermined";
+  let xs = Array.map fst pts and ys = Array.map snd pts in
+  let cx2, hx2 = norm_params xs and cy2, hy2 = norm_params ys in
+  let design = Matrix.create n (Array.length mons) in
+  Array.iteri
+    (fun r (x, y) ->
+      let xn = (x -. cx2) /. hx2 and yn = (y -. cy2) /. hy2 in
+      Array.iteri (fun c (i, j) -> Matrix.set design r c (pow xn i *. pow yn j)) mons)
+    pts;
+  let coefs2 = Matrix.lstsq design zs in
+  { degree2 = degree; cx2; hx2; cy2; hy2; coefs2 }
+
+let eval2 s x y =
+  let xn = (x -. s.cx2) /. s.hx2 and yn = (y -. s.cy2) /. s.hy2 in
+  let mons = monomials2 s.degree2 in
+  let acc = ref 0. in
+  Array.iteri
+    (fun c (i, j) -> acc := !acc +. (s.coefs2.(c) *. pow xn i *. pow yn j))
+    mons;
+  !acc
+
+let fit3 ~degree pts zs =
+  let n = Array.length pts in
+  if n <> Array.length zs then invalid_arg "Polyfit.fit3: length mismatch";
+  let mons = monomials3 degree in
+  if n < Array.length mons then invalid_arg "Polyfit.fit3: underdetermined";
+  let xs = Array.map (fun (x, _, _) -> x) pts
+  and ys = Array.map (fun (_, y, _) -> y) pts
+  and zs' = Array.map (fun (_, _, z) -> z) pts in
+  let cx3, hx3 = norm_params xs
+  and cy3, hy3 = norm_params ys
+  and cz3, hz3 = norm_params zs' in
+  let design = Matrix.create n (Array.length mons) in
+  Array.iteri
+    (fun r (x, y, z) ->
+      let xn = (x -. cx3) /. hx3
+      and yn = (y -. cy3) /. hy3
+      and zn = (z -. cz3) /. hz3 in
+      Array.iteri
+        (fun c (i, j, k) ->
+          Matrix.set design r c (pow xn i *. pow yn j *. pow zn k))
+        mons)
+    pts;
+  let coefs3 = Matrix.lstsq design zs in
+  { degree3 = degree; cx3; hx3; cy3; hy3; cz3; hz3; coefs3 }
+
+let eval3 s x y z =
+  let xn = (x -. s.cx3) /. s.hx3
+  and yn = (y -. s.cy3) /. s.hy3
+  and zn = (z -. s.cz3) /. s.hz3 in
+  let mons = monomials3 s.degree3 in
+  let acc = ref 0. in
+  Array.iteri
+    (fun c (i, j, k) ->
+      acc := !acc +. (s.coefs3.(c) *. pow xn i *. pow yn j *. pow zn k))
+    mons;
+  !acc
+
+let floats_to_string fs =
+  String.concat " " (List.map (Printf.sprintf "%.17g") fs)
+
+let surface2_to_string s =
+  floats_to_string
+    (float_of_int s.degree2 :: s.cx2 :: s.hx2 :: s.cy2 :: s.hy2
+    :: Array.to_list s.coefs2)
+
+let surface2_of_string str =
+  match String.split_on_char ' ' (String.trim str) with
+  | d :: cx :: hx :: cy :: hy :: rest ->
+      let degree2 = int_of_float (float_of_string d) in
+      let coefs2 = Array.of_list (List.map float_of_string rest) in
+      if Array.length coefs2 <> n_terms2 degree2 then
+        invalid_arg "Polyfit.surface2_of_string: coefficient count";
+      {
+        degree2;
+        cx2 = float_of_string cx;
+        hx2 = float_of_string hx;
+        cy2 = float_of_string cy;
+        hy2 = float_of_string hy;
+        coefs2;
+      }
+  | _ -> invalid_arg "Polyfit.surface2_of_string: malformed"
+
+let surface3_to_string s =
+  floats_to_string
+    (float_of_int s.degree3 :: s.cx3 :: s.hx3 :: s.cy3 :: s.hy3 :: s.cz3
+    :: s.hz3
+    :: Array.to_list s.coefs3)
+
+let surface3_of_string str =
+  match String.split_on_char ' ' (String.trim str) with
+  | d :: cx :: hx :: cy :: hy :: cz :: hz :: rest ->
+      let degree3 = int_of_float (float_of_string d) in
+      let coefs3 = Array.of_list (List.map float_of_string rest) in
+      if Array.length coefs3 <> n_terms3 degree3 then
+        invalid_arg "Polyfit.surface3_of_string: coefficient count";
+      {
+        degree3;
+        cx3 = float_of_string cx;
+        hx3 = float_of_string hx;
+        cy3 = float_of_string cy;
+        hy3 = float_of_string hy;
+        cz3 = float_of_string cz;
+        hz3 = float_of_string hz;
+        coefs3;
+      }
+  | _ -> invalid_arg "Polyfit.surface3_of_string: malformed"

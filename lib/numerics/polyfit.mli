@@ -1,0 +1,40 @@
+(** Least-squares polynomial surface fitting.
+
+    The delay/slew library of Chapter 3 of the paper stores 3rd/4th-order
+    polynomial fits of simulation data over (input slew, wire length), and
+    trivariate fits for branch components. Inputs are affinely normalized
+    to [-1, 1] per dimension before fitting so the monomial normal
+    equations stay well conditioned. *)
+
+type surface2
+(** Bivariate polynomial surface [f (x, y)]. *)
+
+type surface3
+(** Trivariate polynomial hypersurface [f (x, y, z)]. *)
+
+val fit2 :
+  degree:int -> (float * float) array -> float array -> surface2
+(** [fit2 ~degree pts zs] fits all monomials [x^i y^j] with
+    [i + j <= degree] to the samples. Requires at least as many samples as
+    monomials. *)
+
+val eval2 : surface2 -> float -> float -> float
+
+val fit3 :
+  degree:int -> (float * float * float) array -> float array -> surface3
+(** Trivariate analogue of {!fit2} (total degree bound). *)
+
+val eval3 : surface3 -> float -> float -> float -> float
+
+val n_terms2 : int -> int
+(** Number of monomials of total degree <= d in two variables. *)
+
+val n_terms3 : int -> int
+
+val surface2_to_string : surface2 -> string
+(** One-line serialization (whitespace-separated floats), inverse of
+    {!surface2_of_string}. *)
+
+val surface2_of_string : string -> surface2
+val surface3_to_string : surface3 -> string
+val surface3_of_string : string -> surface3

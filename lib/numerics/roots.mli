@@ -1,0 +1,12 @@
+(** Scalar root finding and minimization on an interval. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisect f lo hi] finds a root of [f] in [\[lo, hi\]]. [f lo] and
+    [f hi] must have opposite signs (or one endpoint is a root). Raises
+    [Invalid_argument] otherwise. Default [tol] is 1e-12 on the abscissa. *)
+
+val golden_min :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [golden_min f lo hi] locates the minimizer of a unimodal [f] on
+    [\[lo, hi\]] by golden-section search; returns the abscissa. *)

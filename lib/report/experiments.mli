@@ -1,0 +1,123 @@
+(** Experiment drivers — one per table/figure of the paper (see the
+    experiment index in DESIGN.md).
+
+    Every driver returns a rendered plain-text report; structured
+    accessors are provided where tests assert on shapes (who wins, by
+    how much, ordering) rather than on text. *)
+
+type env = {
+  tech : Circuit.Tech.t;
+  lib : Circuit.Buffer_lib.t list;
+  dl : Delaylib.t;
+  scale : float;  (** Benchmark scale factor in (0, 1]. *)
+  sim_config : Spice_sim.Transient.config;
+}
+
+val make_env :
+  ?profile:Delaylib.profile -> ?scale:float -> ?cache:string -> unit -> env
+(** Build the shared experiment environment. The delay library is loaded
+    from [cache] (default [".cache/delaylib_<profile>.txt"] under the
+    current directory) or characterized and saved there. [scale] scales
+    benchmark sink counts/die sizes for quick runs (default 1). *)
+
+(** {1 Figures} *)
+
+val fig1_1 : env -> string
+(** Wire output slew vs. length for 20X and 30X drivers (Fig. 1.1):
+    buffer sizing alone cannot control slew. *)
+
+val fig1_1_rows : env -> (float * float * float) list
+(** [(length, slew20x, slew30x)] data behind {!fig1_1}. *)
+
+val fig3_2 : env -> string
+(** Curve vs. ramp input experiment (Fig. 3.2). *)
+
+val fig3_2_shift : env -> float
+(** The output-shift (s) between equal-slew curve and ramp inputs; the
+    paper reports 32 ps. *)
+
+val fig3_4 : env -> string
+(** Fitted buffer intrinsic-delay surface (Fig. 3.4). *)
+
+val fig3_6 : env -> string
+(** Fitted branch wire-delay surfaces (Figs. 3.6/3.7). *)
+
+val model_accuracy : env -> string
+(** Sec. 3.1 reproduction: Elmore / higher-moment metrics vs. library vs.
+    simulator. *)
+
+(** {1 Tables} *)
+
+type cts_row = {
+  bench : string;
+  n_sinks : int;
+  worst_slew : float;
+  skew : float;
+  latency : float;
+  wirelength : float;
+  n_buffers : int;
+  baseline_skew : float option;  (** Merge-node-only buffered DME. *)
+  baseline_slew : float option;
+  runtime : float;  (** Synthesis wall time (s). *)
+}
+
+val run_gsrc_row : env -> ?baseline:bool -> Bmark.Synthetic.descriptor -> cts_row
+
+val tab5_1 : env -> string
+(** GSRC results incl. the merge-node-only baseline (Table 5.1). *)
+
+val tab5_2 : env -> string
+(** ISPD results (Table 5.2). *)
+
+type h_row = {
+  h_bench : string;
+  skew_orig : float;
+  skew_reest : float;
+  skew_corr : float;
+  flippings : int;
+}
+
+val tab5_3 : env -> string
+(** H-structure re-estimation/correction study (Table 5.3). *)
+
+val tab5_3_rows : env -> h_row list
+
+(** {1 Ablations} *)
+
+val abl_sizing : env -> string
+(** Intelligent look-ahead buffer sizing vs. fixed smallest type. *)
+
+val abl_balance : env -> string
+(** Balance and binary-search stages switched off individually. *)
+
+val abl_slew : env -> string
+(** Slew-limit sweep: how many buffers a tighter constraint costs. *)
+
+val abl_topology : env -> string
+(** Dynamic levelized topology generation vs a fixed recursive-bisection
+    topology ({!Cts.synthesize_bisection}). *)
+
+(** {1 Extensions beyond the paper} *)
+
+val ext_corners : env -> string
+(** Process-corner robustness (the concern of the variation-aware CTS
+    line of work the paper cites): trees synthesized at nominal are
+    re-simulated at slow/fast transistor and +-10% RC corners. *)
+
+val ext_power : env -> string
+(** Clock-network capacitance breakdown and dynamic power at 1 GHz,
+    aggressive CTS vs the merge-node-only baseline. *)
+
+val ext_blockage : env -> string
+(** Blockage-aware buffer legalization: ISPD'09 macros that wires may
+    cross but buffers must avoid. *)
+
+val ext_useful_skew : env -> string
+(** Useful-skew scheduling: a subset of sinks targeted 50 ps late; the
+    flow balances each sink toward its own prescribed arrival. *)
+
+val ext_bst : env -> string
+(** Bounded-skew DME: wirelength vs skew-bound tradeoff (ref [4]). *)
+
+val all : (string * (env -> string)) list
+(** Every driver, keyed by experiment id (e.g. "tab5.1"). *)

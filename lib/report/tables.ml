@@ -1,0 +1,29 @@
+let render ~header rows =
+  let all = header :: rows in
+  let n_cols = List.fold_left (fun acc r -> Int.max acc (List.length r)) 0 all in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let widths =
+    Array.init n_cols (fun i ->
+        List.fold_left (fun acc r -> Int.max acc (String.length (cell r i))) 0 all)
+  in
+  let buf = Buffer.create 1024 in
+  let emit row =
+    for i = 0 to n_cols - 1 do
+      let c = cell row i in
+      Buffer.add_string buf c;
+      if i < n_cols - 1 then
+        Buffer.add_string buf (String.make (widths.(i) - String.length c + 2) ' ')
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  let total = Array.fold_left ( + ) (2 * (n_cols - 1)) widths in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter emit rows;
+  Buffer.contents buf
+
+let ps v = Printf.sprintf "%.1f" (v *. 1e12)
+let ns v = Printf.sprintf "%.2f" (v *. 1e9)
+let um v = Printf.sprintf "%.0f" v
+let pct v = Printf.sprintf "%+.2f%%" (v *. 100.)

@@ -1,0 +1,17 @@
+(** Plain-text table rendering for experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** Column-aligned table with a header rule. Rows may be ragged; missing
+    cells render empty. *)
+
+val ps : float -> string
+(** Picoseconds with one decimal ("89.5"). *)
+
+val ns : float -> string
+(** Nanoseconds with two decimals ("2.26"). *)
+
+val um : float -> string
+(** Micrometres, rounded. *)
+
+val pct : float -> string
+(** Signed percentage with two decimals ("-6.13%"). *)

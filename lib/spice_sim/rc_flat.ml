@@ -1,0 +1,44 @@
+type t = {
+  n : int;
+  parent : int array;
+  g_edge : float array;
+  cap : float array;
+  tag_index : (string * int) list;
+}
+
+let of_tree tree =
+  let n = Circuit.Rc_tree.n_nodes tree in
+  let parent = Array.make n (-1) in
+  let g_edge = Array.make n 0. in
+  let cap = Array.make n 0. in
+  let tags = ref [] in
+  let counter = ref 0 in
+  let rec visit (node : Circuit.Rc_tree.t) parent_idx res =
+    let idx = !counter in
+    incr counter;
+    parent.(idx) <- parent_idx;
+    g_edge.(idx) <- (if parent_idx < 0 then 0. else 1. /. res);
+    cap.(idx) <- node.cap;
+    (match node.tag with Some s -> tags := (s, idx) :: !tags | None -> ());
+    List.iter (fun (r, child) -> visit child idx r) node.children
+  in
+  visit tree (-1) 0.;
+  { n; parent; g_edge; cap; tag_index = List.rev !tags }
+
+let index_of_tag t tag = List.assoc tag t.tag_index
+
+let solve t ~diag ~rhs ~into =
+  let n = t.n in
+  (* Leaf-to-root elimination: preorder numbering guarantees
+     parent.(i) < i, so a reverse sweep eliminates children first. *)
+  for i = n - 1 downto 1 do
+    let p = t.parent.(i) in
+    let f = t.g_edge.(i) /. diag.(i) in
+    diag.(p) <- diag.(p) -. (f *. t.g_edge.(i));
+    rhs.(p) <- rhs.(p) +. (f *. rhs.(i))
+  done;
+  into.(0) <- rhs.(0) /. diag.(0);
+  for i = 1 to n - 1 do
+    let p = t.parent.(i) in
+    into.(i) <- (rhs.(i) +. (t.g_edge.(i) *. into.(p))) /. diag.(i)
+  done

@@ -1,0 +1,25 @@
+(** Flattened RC trees for fast repeated linear solves.
+
+    Nodes are numbered in preorder so every parent index precedes its
+    children, which lets the simulator run the exact O(n) tree
+    LU-elimination once per timestep. *)
+
+type t = {
+  n : int;
+  parent : int array;  (** [parent.(0) = -1]. *)
+  g_edge : float array;  (** Conductance of the edge to the parent (S). *)
+  cap : float array;  (** Grounded capacitance per node (F). *)
+  tag_index : (string * int) list;  (** Tagged node -> index. *)
+}
+
+val of_tree : Circuit.Rc_tree.t -> t
+
+val index_of_tag : t -> string -> int
+(** Raises [Not_found] for unknown tags. *)
+
+val solve : t -> diag:float array -> rhs:float array -> into:float array -> unit
+(** [solve t ~diag ~rhs ~into] solves the symmetric tree-structured system
+    whose row [i] reads [diag.(i) * v_i - g_edge.(i) * v_parent(i)
+    - sum_children g_edge.(c) * v_c = rhs.(i)].
+    [diag] and [rhs] are clobbered; the solution is written to [into].
+    All arrays must have length [n]. *)

@@ -1,0 +1,57 @@
+module Point = Geometry.Point
+
+type item = { pos : Point.t; delay : float }
+type pairing = { pairs : (int * int) list; seed : int option }
+
+let default_beta = 4e13
+
+let edge_cost ?(alpha = 1.) ?(beta = default_beta) a b =
+  (alpha *. Point.manhattan a.pos b.pos)
+  +. (beta *. Float.abs (a.delay -. b.delay))
+
+let level_pairing ?(alpha = 1.) ?(beta = default_beta) ~centroid items =
+  let n = Array.length items in
+  if n < 2 then invalid_arg "Topology.level_pairing: need at least 2 items";
+  let alive = Array.make n true in
+  let remaining = ref n in
+  (* With an odd count, set aside the max-latency node as the seed. *)
+  let seed =
+    if n mod 2 = 0 then None
+    else begin
+      let best = ref 0 in
+      for i = 1 to n - 1 do
+        if items.(i).delay > items.(!best).delay then best := i
+      done;
+      alive.(!best) <- false;
+      decr remaining;
+      Some !best
+    end
+  in
+  let pairs = ref [] in
+  while !remaining > 0 do
+    (* Farthest remaining node from the sink centroid... *)
+    let far = ref (-1) in
+    for i = 0 to n - 1 do
+      if alive.(i)
+         && (!far < 0
+            || Point.manhattan items.(i).pos centroid
+               > Point.manhattan items.(!far).pos centroid)
+      then far := i
+    done;
+    let f = !far in
+    alive.(f) <- false;
+    (* ...paired with its cheapest remaining neighbour. *)
+    let near = ref (-1) in
+    for j = 0 to n - 1 do
+      if alive.(j)
+         && (!near < 0
+            || edge_cost ~alpha ~beta items.(f) items.(j)
+               < edge_cost ~alpha ~beta items.(f) items.(!near))
+      then near := j
+    done;
+    let m = !near in
+    alive.(m) <- false;
+    remaining := !remaining - 2;
+    pairs := (f, m) :: !pairs
+  done;
+  { pairs = List.rev !pairs; seed }

@@ -1,0 +1,37 @@
+(** Levelized topology generation (Sec. 4.1.1 of the paper).
+
+    Level by level, candidate subtree roots are paired for merging. The
+    edge cost follows Eq. 4.1:
+    [cost = alpha * distance + beta * |delay1 - delay2|], and the
+    matching heuristic repeatedly picks the node {e farthest from the
+    centroid of all sinks} and pairs it with its remaining nearest
+    neighbour. With an odd node count, a seed node — the one with maximum
+    latency — is promoted unpaired to the next level ("the nodes in the
+    next level have larger delays", so this balances better than pairing
+    it). *)
+
+type item = {
+  pos : Geometry.Point.t;
+  delay : float;  (** Current subtree latency (s). *)
+}
+
+type pairing = {
+  pairs : (int * int) list;  (** Index pairs to merge at this level. *)
+  seed : int option;  (** Unpaired max-latency node (odd counts). *)
+}
+
+val default_beta : float
+(** Cost weight converting delay difference to equivalent micrometres
+    (um/s); calibrated so 1 ps of imbalance weighs like ~40 um of wire. *)
+
+val level_pairing :
+  ?alpha:float -> ?beta:float -> centroid:Geometry.Point.t -> item array ->
+  pairing
+(** One level of the greedy farthest-point matching. [alpha] (default 1)
+    scales the distance term. The array must contain at least two
+    items. *)
+
+val edge_cost :
+  ?alpha:float -> ?beta:float -> item -> item -> float
+(** Eq. 4.1 cost of pairing two nodes — exposed for H-structure
+    re-estimation (Method 1). *)

@@ -1,0 +1,26 @@
+(** Small statistics helpers over float arrays and lists. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val variance : float array -> float
+(** Population variance. Requires a non-empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min_max : float array -> float * float
+(** [(min, max)] of a non-empty array. *)
+
+val spread : float array -> float
+(** [max - min] of a non-empty array; 0 on singletons. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [\[0,1\]], linear interpolation on the
+    sorted copy of [a]. *)
+
+val rms_error : float array -> float array -> float
+(** Root-mean-square difference of two same-length arrays. *)
+
+val max_abs_error : float array -> float array -> float
+(** Largest absolute componentwise difference. *)

@@ -1,0 +1,182 @@
+(* Tests for blockage-aware buffer placement. *)
+
+module P = Geometry.Point
+module Bbox = Geometry.Bbox
+
+let tech = T_env.tech
+let check_f eps = Alcotest.(check (float eps))
+
+let blocks = [ Bbox.make 100. (-50.) 300. 50.; Bbox.make 600. (-50.) 700. 50. ]
+
+let legal_basics () =
+  Alcotest.(check bool) "outside" true (Blockage.legal blocks (P.make 50. 0.));
+  Alcotest.(check bool) "inside first" false
+    (Blockage.legal blocks (P.make 200. 0.));
+  Alcotest.(check bool) "inside second" false
+    (Blockage.legal blocks (P.make 650. 0.));
+  Alcotest.(check bool) "between" true (Blockage.legal blocks (P.make 450. 0.));
+  Alcotest.(check bool) "empty always legal" true
+    (Blockage.legal Blockage.empty (P.make 200. 0.))
+
+let slide_down_pulls_back () =
+  let path = Lpath.make (P.make 0. 0.) (P.make 1000. 0.) in
+  (* d = 250 is inside the first blockage; slide back before x = 100. *)
+  let d = Blockage.slide_down blocks path 250. in
+  Alcotest.(check bool) "before blockage" true (d < 100.);
+  Alcotest.(check bool) "close to the edge" true (d > 90.);
+  (* Legal positions are untouched. *)
+  check_f 1e-9 "legal stays" 450. (Blockage.slide_down blocks path 450.)
+
+let first_legal_after_jumps () =
+  let path = Lpath.make (P.make 0. 0.) (P.make 1000. 0.) in
+  (match Blockage.first_legal_after blocks path 250. with
+  | Some d ->
+      Alcotest.(check bool) "past blockage" true (d > 300. && d < 320.)
+  | None -> Alcotest.fail "legal point expected");
+  (* Beyond path end but end is legal. *)
+  match Blockage.first_legal_after blocks path 999. with
+  | Some d -> Alcotest.(check bool) "clamped to end" true (d >= 999.)
+  | None -> Alcotest.fail "end is legal"
+
+let nearest_legal_probes () =
+  let p = P.make 200. 0. in
+  let q = Blockage.nearest_legal blocks p in
+  Alcotest.(check bool) "result legal" true (Blockage.legal blocks q);
+  Alcotest.(check bool) "nearby" true (P.manhattan p q < 400.);
+  (* Legal points pass through unchanged. *)
+  Alcotest.(check bool) "identity on legal" true
+    (P.equal (Blockage.nearest_legal blocks (P.make 50. 0.)) (P.make 50. 0.))
+
+let violations_detected () =
+  let s = Ctree.sink ~name:"s" ~pos:(P.make 400. 0.) ~cap:10e-15 in
+  let bad =
+    Ctree.buffer ~pos:(P.make 200. 0.) T_env.b20
+      [ Ctree.edge ~length:200. s ]
+  in
+  Alcotest.(check int) "one violation" 1
+    (List.length (Blockage.violations blocks bad));
+  let good =
+    Ctree.buffer ~pos:(P.make 50. 0.) T_env.b20 [ Ctree.edge ~length:350. s ]
+  in
+  Alcotest.(check (list string)) "clean tree" []
+    (Blockage.violations blocks good)
+
+let run_eval_respects_place () =
+  let dl = T_env.get_dl () in
+  let cfg = Cts_config.default dl in
+  let port = Port.of_sink { Sinks.name = "b"; pos = P.origin; cap = 10e-15 } in
+  (* A placement function that forbids [600, 800] along the run. *)
+  let place ~cur:_ d = if d >= 600. && d <= 800. then 599. else d in
+  let e = Run.eval ~place dl cfg port 2500. in
+  List.iter
+    (fun (p : Run.placed) ->
+      if p.Run.dist >= 600. && p.Run.dist <= 800. then
+        Alcotest.failf "buffer at %.0f inside forbidden band" p.Run.dist)
+    e.Run.buffers;
+  Alcotest.(check bool) "still covers the run" true
+    (e.Run.top_free < 2500.)
+
+let synthesis_with_blockages_is_legal () =
+  let dl = T_env.get_dl () in
+  let d =
+    Bmark.Synthetic.scaled (Bmark.Synthetic.find "f31") 0.12
+  in
+  let specs, blocks = Bmark.Synthetic.blocked_instance d ~n_blockages:3 in
+  (* Sinks themselves avoid the macros. *)
+  List.iter
+    (fun (s : Sinks.spec) ->
+      if not (Blockage.legal blocks s.Sinks.pos) then
+        Alcotest.fail "generator placed a sink inside a macro")
+    specs;
+  let res = Cts.synthesize ~blockages:blocks dl specs in
+  Alcotest.(check (list string)) "no buffer violations" []
+    (Blockage.violations blocks res.Cts.tree);
+  Alcotest.(check (list string)) "tree valid" [] (Ctree.validate res.Cts.tree);
+  let m = Ctree_sim.simulate tech res.Cts.tree in
+  Alcotest.(check bool) "slew still met" true
+    (m.Ctree_sim.worst_slew <= 100e-12)
+
+let synthesis_without_blockages_unchanged () =
+  (* The blockage machinery must be a strict no-op when absent. *)
+  let dl = T_env.get_dl () in
+  let specs = T_env.random_sinks ~seed:81 ~n:12 ~die:2000. () in
+  let a = Cts.synthesize dl specs in
+  let b = Cts.synthesize ~blockages:Blockage.empty dl specs in
+  check_f 1e-18 "same estimate" a.Cts.est_latency b.Cts.est_latency;
+  check_f 1e-9 "same wirelength"
+    (Ctree.total_wirelength a.Cts.tree)
+    (Ctree.total_wirelength b.Cts.tree)
+
+let svg_draws_blockages () =
+  let s = Ctree.sink ~name:"s" ~pos:(P.make 400. 100.) ~cap:10e-15 in
+  let t = Ctree.buffer ~pos:(P.make 0. 0.) T_env.b20 [ Ctree.edge ~length:500. s ] in
+  let svg = Ctree_svg.render ~blockages:[ Bbox.make 100. 0. 300. 80. ] t in
+  let count needle =
+    List.length
+      (List.filter
+         (fun l ->
+           String.length l >= String.length needle
+           && String.sub l 0 (String.length needle) = needle)
+         (String.split_on_char '\n' svg))
+  in
+  (* background rect + blockage rect (the root buffer renders as a
+     ring, not a rect) *)
+  Alcotest.(check int) "blockage rect drawn" 2 (count "<rect")
+
+let lpath_via_waypoint () =
+  let p = Lpath.via (P.make 0. 0.) (P.make 100. 200.) (P.make 300. 0.) in
+  (* Length = manhattan(a,w) + manhattan(w,b). *)
+  check_f 1e-9 "detour length" (300. +. 400.) (Lpath.length p);
+  Alcotest.(check bool) "passes through waypoint" true
+    (P.equal (Lpath.point_at p 300.) (P.make 100. 200.));
+  Alcotest.(check bool) "start" true (P.equal (Lpath.point_at p 0.) (P.make 0. 0.));
+  Alcotest.(check bool) "end" true
+    (P.equal (Lpath.point_at p 700.) (P.make 300. 0.));
+  (* Waypoints include the auto-inserted staircase corners. *)
+  Alcotest.(check bool) "corners expanded" true
+    (List.length (Lpath.waypoints p) >= 4)
+
+let lpath_vertical_first_orientation () =
+  let h = Lpath.make (P.make 0. 0.) (P.make 100. 100.) in
+  let v = Lpath.make ~vertical_first:true (P.make 0. 0.) (P.make 100. 100.) in
+  check_f 1e-9 "same length" (Lpath.length h) (Lpath.length v);
+  (* Halfway points differ: H goes east first, V goes north first. *)
+  let ph = Lpath.point_at h 50. and pv = Lpath.point_at v 50. in
+  Alcotest.(check bool) "orientations differ" false (P.equal ph pv);
+  Alcotest.(check bool) "h east" true (P.equal ph (P.make 50. 0.));
+  Alcotest.(check bool) "v north" true (P.equal pv (P.make 0. 50.))
+
+let best_path_detours_around_wall () =
+  (* A wall blocking the whole direct corridor: best_path must detour. *)
+  let wall = [ Bbox.make 400. (-1000.) 600. 1000. ] in
+  let a = P.make 0. 0. and b = P.make 1000. 0. in
+  let p = Blockage.best_path wall a b in
+  Alcotest.(check bool) "longer than manhattan" true
+    (Lpath.length p > P.manhattan a b +. 100.);
+  check_f 10. "fully legal" 0. (Blockage.blocked_length wall p)
+
+let best_path_straight_when_clear () =
+  let blocks = [ Bbox.make 5000. 5000. 6000. 6000. ] in
+  let a = P.make 0. 0. and b = P.make 1000. 0. in
+  let p = Blockage.best_path blocks a b in
+  check_f 1e-9 "no detour" (P.manhattan a b) (Lpath.length p)
+
+let suite =
+  [
+    Alcotest.test_case "lpath via waypoint" `Quick lpath_via_waypoint;
+    Alcotest.test_case "lpath orientations" `Quick
+      lpath_vertical_first_orientation;
+    Alcotest.test_case "best path detours" `Quick best_path_detours_around_wall;
+    Alcotest.test_case "best path straight" `Quick best_path_straight_when_clear;
+    Alcotest.test_case "legal basics" `Quick legal_basics;
+    Alcotest.test_case "slide down" `Quick slide_down_pulls_back;
+    Alcotest.test_case "first legal after" `Quick first_legal_after_jumps;
+    Alcotest.test_case "nearest legal" `Quick nearest_legal_probes;
+    Alcotest.test_case "violations" `Quick violations_detected;
+    Alcotest.test_case "run respects place" `Quick run_eval_respects_place;
+    Alcotest.test_case "blocked synthesis legal" `Slow
+      synthesis_with_blockages_is_legal;
+    Alcotest.test_case "no-op without blockages" `Slow
+      synthesis_without_blockages_unchanged;
+    Alcotest.test_case "svg blockages" `Quick svg_draws_blockages;
+  ]

@@ -1,0 +1,187 @@
+(* Tests for the characterized delay/slew library. *)
+
+module T = Spice_sim.Transient
+module Rc = Circuit.Rc_tree
+module W = Waveform
+module B = Circuit.Buffer_lib
+
+let tech = T_env.tech
+let check_f eps = Alcotest.(check (float eps))
+
+let wave_gen_hits_target_slew () =
+  List.iter
+    (fun target ->
+      let w = Delaylib.Wave_gen.buffer_output_wave tech T_env.b10 ~slew:target in
+      match W.slew_10_90 w ~vdd:tech.Circuit.Tech.vdd with
+      | Some s -> check_f 3e-12 (Printf.sprintf "%g" target) target s
+      | None -> Alcotest.fail "no slew")
+    [ 40e-12; 80e-12; 150e-12 ]
+
+let wave_gen_range_sane () =
+  let lo, hi = Delaylib.Wave_gen.achievable_slew_range tech T_env.b10 in
+  Alcotest.(check bool) "lo < hi" true (lo < hi);
+  Alcotest.(check bool) "lo under 40ps" true (lo < 40e-12);
+  Alcotest.(check bool) "hi over 250ps" true (hi > 250e-12)
+
+let fit_quality () =
+  let dl = T_env.get_dl () in
+  List.iter
+    (fun (label, rms, worst) ->
+      if rms > 2e-12 then
+        Alcotest.failf "fit %s rms %.2fps too large" label (rms *. 1e12);
+      if worst > 6e-12 then
+        Alcotest.failf "fit %s worst %.2fps too large" label (worst *. 1e12))
+    (Delaylib.fit_report dl)
+
+let library_matches_simulator_offgrid () =
+  (* The acceptance test of Chapter 3: library predictions at points not
+     in the characterization sweep agree with direct simulation. *)
+  let dl = T_env.get_dl () in
+  let input = Delaylib.Wave_gen.buffer_output_wave tech T_env.b10 ~slew:95e-12 in
+  let length = 640. and load_cap = 0.75e-15 in
+  let load = Rc.leaf ~tag:"load" load_cap in
+  let r, chain = Rc.wire tech ~length load in
+  let tree = Rc.node ~tag:"out" [ (r, chain) ] in
+  let res = T.simulate tech (T.Driven_buffer (T_env.b20, input)) tree in
+  let vdd = tech.Circuit.Tech.vdd in
+  let sim_buf = Option.get (W.delay_50 input (T.root_waveform res) ~vdd) in
+  let sim_total = Option.get (T.stage_delay res ~input ~tag:"load") in
+  let sim_slew = Option.get (T.node_slew res ~tag:"load") in
+  let e =
+    Delaylib.eval_single dl ~drive:T_env.b20 ~load_cap ~input_slew:95e-12
+      ~length
+  in
+  check_f 2.5e-12 "buffer delay" sim_buf e.Delaylib.buf_delay;
+  check_f 2.5e-12 "wire delay" (sim_total -. sim_buf) e.Delaylib.wire_delay;
+  check_f 4e-12 "wire slew" sim_slew e.Delaylib.wire_slew
+
+let eval_single_monotone_in_length () =
+  let dl = T_env.get_dl () in
+  let slews l =
+    (Delaylib.eval_single dl ~drive:T_env.b20 ~load_cap:5e-15
+       ~input_slew:80e-12 ~length:l)
+      .Delaylib.wire_slew
+  in
+  Alcotest.(check bool) "slew monotone" true
+    (slews 200. < slews 600. && slews 600. < slews 1200.)
+
+let eval_single_clamps_domain () =
+  let dl = T_env.get_dl () in
+  let lo, hi = Delaylib.len_domain dl in
+  let at l =
+    Delaylib.eval_single dl ~drive:T_env.b20 ~load_cap:5e-15 ~input_slew:80e-12
+      ~length:l
+  in
+  (* Out-of-domain queries pin to the domain edges, never extrapolate. *)
+  check_f 1e-15 "below domain" (at lo).Delaylib.wire_delay
+    (at (lo -. 100.)).Delaylib.wire_delay;
+  check_f 1e-15 "above domain" (at hi).Delaylib.wire_delay
+    (at (hi +. 5000.)).Delaylib.wire_delay
+
+let eval_branch_symmetry () =
+  (* Swapping branch roles must mirror the answer. *)
+  let dl = T_env.get_dl () in
+  let b =
+    Delaylib.eval_branch dl ~drive:T_env.b20 ~load_cap_left:0.75e-15
+      ~load_cap_right:15e-15 ~input_slew:80e-12 ~len_left:300. ~len_right:700.
+  in
+  let b' =
+    Delaylib.eval_branch dl ~drive:T_env.b20 ~load_cap_left:15e-15
+      ~load_cap_right:0.75e-15 ~input_slew:80e-12 ~len_left:700. ~len_right:300.
+  in
+  check_f 1e-15 "delay mirror" b.Delaylib.delay_left b'.Delaylib.delay_right;
+  check_f 1e-15 "slew mirror" b.Delaylib.slew_left b'.Delaylib.slew_right
+
+let eval_branch_longer_is_slower () =
+  let dl = T_env.get_dl () in
+  let b =
+    Delaylib.eval_branch dl ~drive:T_env.b20 ~load_cap_left:5e-15
+      ~load_cap_right:5e-15 ~input_slew:80e-12 ~len_left:200. ~len_right:900.
+  in
+  Alcotest.(check bool) "right branch slower" true
+    (b.Delaylib.delay_right > b.Delaylib.delay_left)
+
+let max_length_for_slew_properties () =
+  let dl = T_env.get_dl () in
+  let len b =
+    Delaylib.max_length_for_slew dl ~drive:b ~load_cap:0.75e-15
+      ~input_slew:80e-12 ~slew_limit:80e-12
+  in
+  let l10 = len T_env.b10 and l20 = len T_env.b20 and l30 = len T_env.b30 in
+  Alcotest.(check bool) "stronger drives longer" true (l10 < l20 && l20 < l30);
+  (* At the returned length the predicted slew is exactly the limit. *)
+  let s =
+    (Delaylib.eval_single dl ~drive:T_env.b20 ~load_cap:0.75e-15
+       ~input_slew:80e-12 ~length:l20)
+      .Delaylib.wire_slew
+  in
+  check_f 1e-12 "slew at max length = limit" 80e-12 s
+
+let save_load_roundtrip () =
+  let dl = T_env.get_dl () in
+  let path = Filename.temp_file "dl_roundtrip" ".txt" in
+  Delaylib.save dl path;
+  let dl2 = Delaylib.load path in
+  Sys.remove path;
+  (* Field-order regression: record fields must land where they were
+     saved (buf_delay <-> wire_slew were once swapped by evaluation-order
+     dependence). *)
+  let e = Delaylib.eval_single dl ~drive:T_env.b20 ~load_cap:5e-15 ~input_slew:90e-12 ~length:500. in
+  let e2 = Delaylib.eval_single dl2 ~drive:T_env.b20 ~load_cap:5e-15 ~input_slew:90e-12 ~length:500. in
+  check_f 1e-16 "buf_delay" e.Delaylib.buf_delay e2.Delaylib.buf_delay;
+  check_f 1e-16 "wire_delay" e.Delaylib.wire_delay e2.Delaylib.wire_delay;
+  check_f 1e-16 "wire_slew" e.Delaylib.wire_slew e2.Delaylib.wire_slew;
+  let b = Delaylib.eval_branch dl ~drive:T_env.b30 ~load_cap_left:0.75e-15 ~load_cap_right:15e-15 ~input_slew:70e-12 ~len_left:250. ~len_right:650. in
+  let b2 = Delaylib.eval_branch dl2 ~drive:T_env.b30 ~load_cap_left:0.75e-15 ~load_cap_right:15e-15 ~input_slew:70e-12 ~len_left:250. ~len_right:650. in
+  check_f 1e-16 "branch delay_left" b.Delaylib.delay_left b2.Delaylib.delay_left;
+  check_f 1e-16 "branch slew_right" b.Delaylib.slew_right b2.Delaylib.slew_right;
+  (* Tech and buffers survive too. *)
+  Alcotest.(check int) "buffers" 3 (List.length (Delaylib.buffers dl2));
+  check_f 1e-12 "tech vdd" tech.Circuit.Tech.vdd (Delaylib.tech dl2).Circuit.Tech.vdd
+
+let load_rejects_garbage () =
+  let path = Filename.temp_file "dl_garbage" ".txt" in
+  let oc = open_out path in
+  output_string oc "not a delaylib\n";
+  close_out oc;
+  (try
+     ignore (Delaylib.load path);
+     Sys.remove path;
+     Alcotest.fail "expected failure"
+   with Failure _ -> Sys.remove path)
+
+let load_class_cap_stable () =
+  let dl = T_env.get_dl () in
+  let c1 = Delaylib.load_class_cap dl 5.2e-15 in
+  let c2 = Delaylib.load_class_cap dl 5.6e-15 in
+  check_f 1e-20 "nearby caps share a class" c1 c2
+
+let intrinsic_delay_increases_with_slew () =
+  let dl = T_env.get_dl () in
+  let d s =
+    (Delaylib.eval_single dl ~drive:T_env.b10 ~load_cap:0.75e-15 ~input_slew:s
+       ~length:400.)
+      .Delaylib.buf_delay
+  in
+  Alcotest.(check bool) "monotone in input slew" true
+    (d 30e-12 < d 80e-12 && d 80e-12 < d 150e-12)
+
+let suite =
+  [
+    Alcotest.test_case "wave gen hits target slew" `Quick wave_gen_hits_target_slew;
+    Alcotest.test_case "wave gen range" `Quick wave_gen_range_sane;
+    Alcotest.test_case "fit quality" `Quick fit_quality;
+    Alcotest.test_case "library vs simulator off-grid" `Quick
+      library_matches_simulator_offgrid;
+    Alcotest.test_case "slew monotone in length" `Quick
+      eval_single_monotone_in_length;
+    Alcotest.test_case "domain clamping" `Quick eval_single_clamps_domain;
+    Alcotest.test_case "branch symmetry" `Quick eval_branch_symmetry;
+    Alcotest.test_case "branch ordering" `Quick eval_branch_longer_is_slower;
+    Alcotest.test_case "max length for slew" `Quick max_length_for_slew_properties;
+    Alcotest.test_case "save/load roundtrip" `Quick save_load_roundtrip;
+    Alcotest.test_case "load rejects garbage" `Quick load_rejects_garbage;
+    Alcotest.test_case "load class stability" `Quick load_class_cap_stable;
+    Alcotest.test_case "intrinsic delay vs slew" `Quick
+      intrinsic_delay_increases_with_slew;
+  ]

@@ -1,0 +1,206 @@
+(* Tests for the numerics library: linear algebra, polynomial surface
+   fitting, root finding. *)
+
+module M = Numerics.Matrix
+module Polyfit = Numerics.Polyfit
+module Roots = Numerics.Roots
+
+let check_f eps = Alcotest.(check (float eps))
+
+let matrix_solve_identity () =
+  let a = M.identity 4 in
+  let b = [| 1.; 2.; 3.; 4. |] in
+  Alcotest.(check (array (float 1e-12))) "identity solve" b (M.solve a b)
+
+let matrix_solve_2x2 () =
+  let a = M.of_arrays [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = M.solve a [| 5.; 10. |] in
+  check_f 1e-9 "x0" 1. x.(0);
+  check_f 1e-9 "x1" 3. x.(1)
+
+let matrix_solve_pivoting () =
+  (* Zero on the initial pivot forces a row swap. *)
+  let a = M.of_arrays [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let x = M.solve a [| 2.; 3. |] in
+  check_f 1e-12 "x0" 3. x.(0);
+  check_f 1e-12 "x1" 2. x.(1)
+
+let matrix_solve_singular () =
+  let a = M.of_arrays [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular" (Failure "Matrix.solve: singular matrix")
+    (fun () -> ignore (M.solve a [| 1.; 1. |]))
+
+let matrix_solve_random_roundtrip () =
+  let rng = Util.Rng.create 77 in
+  for _ = 1 to 20 do
+    let n = 1 + Util.Rng.int rng 8 in
+    let a = M.create n n in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        M.set a i j (Util.Rng.float_range rng (-1.) 1.)
+      done;
+      (* Diagonal dominance keeps the random systems well conditioned. *)
+      M.set a i i (M.get a i i +. 4.)
+    done;
+    let x_true = Array.init n (fun _ -> Util.Rng.float_range rng (-5.) 5.) in
+    let b = M.mul_vec a x_true in
+    let x = M.solve a b in
+    Array.iteri
+      (fun i v -> check_f 1e-8 (Printf.sprintf "x%d" i) x_true.(i) v)
+      x
+  done
+
+let matrix_transpose_mul () =
+  let a = M.of_arrays [| [| 1.; 2. |]; [| 3.; 4. |]; [| 5.; 6. |] |] in
+  let at = M.transpose a in
+  Alcotest.(check int) "rows" 2 (M.rows at);
+  Alcotest.(check int) "cols" 3 (M.cols at);
+  let ata = M.mul at a in
+  check_f 1e-12 "ata[0,0]" 35. (M.get ata 0 0);
+  check_f 1e-12 "ata[0,1]" 44. (M.get ata 0 1);
+  check_f 1e-12 "ata[1,1]" 56. (M.get ata 1 1)
+
+let lstsq_line_fit () =
+  (* Overdetermined y = 2x + 1. *)
+  let xs = [| 0.; 1.; 2.; 3.; 4. |] in
+  let design = M.create 5 2 in
+  Array.iteri
+    (fun i x ->
+      M.set design i 0 1.;
+      M.set design i 1 x)
+    xs;
+  let ys = Array.map (fun x -> (2. *. x) +. 1.) xs in
+  let c = M.lstsq design ys in
+  check_f 1e-6 "intercept" 1. c.(0);
+  check_f 1e-6 "slope" 2. c.(1)
+
+let polyfit_term_counts () =
+  Alcotest.(check int) "deg2 2var" 6 (Polyfit.n_terms2 2);
+  Alcotest.(check int) "deg3 2var" 10 (Polyfit.n_terms2 3);
+  Alcotest.(check int) "deg4 2var" 15 (Polyfit.n_terms2 4);
+  Alcotest.(check int) "deg2 3var" 10 (Polyfit.n_terms3 2);
+  Alcotest.(check int) "deg3 3var" 20 (Polyfit.n_terms3 3)
+
+let polyfit2_exact_recovery () =
+  (* A degree-2 polynomial must be recovered exactly by a degree-2 fit. *)
+  let f x y = 3. +. (2. *. x) -. (1.5 *. y) +. (0.5 *. x *. y) +. (x *. x) in
+  let pts = ref [] in
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      pts := (float_of_int i, float_of_int j *. 2.) :: !pts
+    done
+  done;
+  let pts = Array.of_list !pts in
+  let zs = Array.map (fun (x, y) -> f x y) pts in
+  let s = Polyfit.fit2 ~degree:2 pts zs in
+  List.iter
+    (fun (x, y) ->
+      check_f 1e-6 (Printf.sprintf "f(%g,%g)" x y) (f x y) (Polyfit.eval2 s x y))
+    [ (0.5, 1.3); (3.7, 9.1); (5., 0.); (2.2, 4.4) ]
+
+let polyfit3_exact_recovery () =
+  let f x y z = 1. +. x -. (2. *. y) +. (3. *. z) +. (x *. z) -. (y *. y) in
+  let pts = ref [] in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      for k = 0 to 3 do
+        pts := (float_of_int i, float_of_int j, float_of_int k) :: !pts
+      done
+    done
+  done;
+  let pts = Array.of_list !pts in
+  let zs = Array.map (fun (x, y, z) -> f x y z) pts in
+  let s = Polyfit.fit3 ~degree:2 pts zs in
+  List.iter
+    (fun (x, y, z) ->
+      check_f 1e-6 "recovered" (f x y z) (Polyfit.eval3 s x y z))
+    [ (0.5, 1.5, 2.5); (3., 0., 1.); (1.1, 2.2, 0.3) ]
+
+let polyfit2_underdetermined () =
+  let pts = [| (0., 0.); (1., 1.) |] in
+  Alcotest.check_raises "underdetermined"
+    (Invalid_argument "Polyfit.fit2: underdetermined") (fun () ->
+      ignore (Polyfit.fit2 ~degree:2 pts [| 0.; 1. |]))
+
+let polyfit2_serialization_roundtrip () =
+  let pts = ref [] in
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      pts := (float_of_int i *. 3., float_of_int j *. 7.) :: !pts
+    done
+  done;
+  let pts = Array.of_list !pts in
+  let zs = Array.map (fun (x, y) -> (x *. y) +. (2. *. x) -. y) pts in
+  let s = Polyfit.fit2 ~degree:3 pts zs in
+  let s' = Polyfit.surface2_of_string (Polyfit.surface2_to_string s) in
+  List.iter
+    (fun (x, y) ->
+      check_f 1e-12 "roundtrip eval" (Polyfit.eval2 s x y) (Polyfit.eval2 s' x y))
+    [ (1.7, 12.3); (0., 0.); (12., 28.) ]
+
+let polyfit3_serialization_roundtrip () =
+  let pts = ref [] in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      for k = 0 to 3 do
+        pts := (float_of_int i, float_of_int j, float_of_int k) :: !pts
+      done
+    done
+  done;
+  let pts = Array.of_list !pts in
+  let zs = Array.map (fun (x, y, z) -> x +. (y *. z)) pts in
+  let s = Polyfit.fit3 ~degree:2 pts zs in
+  let s' = Polyfit.surface3_of_string (Polyfit.surface3_to_string s) in
+  check_f 1e-12 "roundtrip" (Polyfit.eval3 s 1.5 2.5 0.5)
+    (Polyfit.eval3 s' 1.5 2.5 0.5)
+
+let bisect_basic () =
+  let root = Roots.bisect (fun x -> (x *. x) -. 2.) 0. 2. in
+  check_f 1e-9 "sqrt 2" (sqrt 2.) root
+
+let bisect_endpoint_root () =
+  check_f 1e-12 "lo endpoint" 0. (Roots.bisect (fun x -> x) 0. 1.);
+  check_f 1e-12 "hi endpoint" 1. (Roots.bisect (fun x -> x -. 1.) 0. 1.)
+
+let bisect_no_sign_change () =
+  Alcotest.check_raises "no sign change"
+    (Invalid_argument "Roots.bisect: no sign change on interval") (fun () ->
+      ignore (Roots.bisect (fun x -> (x *. x) +. 1.) 0. 1.))
+
+let golden_min_quadratic () =
+  let x = Roots.golden_min (fun x -> (x -. 3.) ** 2.) 0. 10. in
+  check_f 1e-6 "argmin" 3. x
+
+let qcheck_bisect_finds_root =
+  QCheck.Test.make ~name:"bisect solves monotone cubic" ~count:200
+    QCheck.(float_range 0.1 50.)
+    (fun target ->
+      let f x = (x *. x *. x) +. x -. target in
+      let root = Roots.bisect f 0. 10. in
+      Float.abs (f root) < 1e-6 *. (1. +. target))
+
+let suite =
+  [
+    Alcotest.test_case "solve identity" `Quick matrix_solve_identity;
+    Alcotest.test_case "solve 2x2" `Quick matrix_solve_2x2;
+    Alcotest.test_case "solve pivoting" `Quick matrix_solve_pivoting;
+    Alcotest.test_case "solve singular" `Quick matrix_solve_singular;
+    Alcotest.test_case "solve random roundtrip" `Quick
+      matrix_solve_random_roundtrip;
+    Alcotest.test_case "transpose/mul" `Quick matrix_transpose_mul;
+    Alcotest.test_case "lstsq line" `Quick lstsq_line_fit;
+    Alcotest.test_case "polyfit term counts" `Quick polyfit_term_counts;
+    Alcotest.test_case "polyfit2 exact recovery" `Quick polyfit2_exact_recovery;
+    Alcotest.test_case "polyfit3 exact recovery" `Quick polyfit3_exact_recovery;
+    Alcotest.test_case "polyfit2 underdetermined" `Quick
+      polyfit2_underdetermined;
+    Alcotest.test_case "polyfit2 serialization" `Quick
+      polyfit2_serialization_roundtrip;
+    Alcotest.test_case "polyfit3 serialization" `Quick
+      polyfit3_serialization_roundtrip;
+    Alcotest.test_case "bisect basic" `Quick bisect_basic;
+    Alcotest.test_case "bisect endpoints" `Quick bisect_endpoint_root;
+    Alcotest.test_case "bisect no sign change" `Quick bisect_no_sign_change;
+    Alcotest.test_case "golden min" `Quick golden_min_quadratic;
+    QCheck_alcotest.to_alcotest qcheck_bisect_finds_root;
+  ]

@@ -1,0 +1,232 @@
+(* Tests for the transient simulator: the tree solver against dense
+   reference solves, and physics invariants of the integration. *)
+
+module T = Spice_sim.Transient
+module Rc_flat = Spice_sim.Rc_flat
+module Rc = Circuit.Rc_tree
+module W = Waveform
+module B = Circuit.Buffer_lib
+module M = Numerics.Matrix
+
+let tech = Circuit.Tech.default
+let vdd = tech.Circuit.Tech.vdd
+let lib = B.default_library
+let b20 = B.by_name lib "BUF20X"
+let check_f eps = Alcotest.(check (float eps))
+
+(* ---------------- Rc_flat ---------------- *)
+
+let flat_preorder_parents () =
+  let tree =
+    Rc.node ~tag:"root"
+      [
+        (1., Rc.node ~tag:"a" [ (2., Rc.leaf ~tag:"a1" 1e-15) ]);
+        (3., Rc.leaf ~tag:"b" 2e-15);
+      ]
+  in
+  let f = Rc_flat.of_tree tree in
+  Alcotest.(check int) "n" 4 f.Rc_flat.n;
+  Alcotest.(check int) "root parent" (-1) f.Rc_flat.parent.(0);
+  (* Preorder: every parent precedes its children. *)
+  Array.iteri
+    (fun i p ->
+      if i > 0 then Alcotest.(check bool) "parent before child" true (p < i))
+    f.Rc_flat.parent;
+  Alcotest.(check int) "tag lookup" 0 (Rc_flat.index_of_tag f "root");
+  Alcotest.(check bool) "all tags present" true
+    (List.for_all
+       (fun t -> Rc_flat.index_of_tag f t >= 0)
+       [ "root"; "a"; "a1"; "b" ])
+
+(* The O(n) tree solve must agree with a dense Gaussian elimination on
+   the same symmetric system. *)
+let flat_solve_matches_dense () =
+  let rng = Util.Rng.create 1234 in
+  for _ = 1 to 10 do
+    (* Random tree with random conductances and diagonals. *)
+    let n = 2 + Util.Rng.int rng 12 in
+    let parent = Array.init n (fun i -> if i = 0 then -1 else Util.Rng.int rng i) in
+    let g = Array.init n (fun i -> if i = 0 then 0. else Util.Rng.float_range rng 0.1 2.) in
+    let flat =
+      { Rc_flat.n; parent; g_edge = g; cap = Array.make n 0.; tag_index = [] }
+    in
+    let extra = Array.init n (fun _ -> Util.Rng.float_range rng 0.5 3.) in
+    (* Build the dense symmetric matrix. *)
+    let a = M.create n n in
+    for i = 0 to n - 1 do
+      M.set a i i (M.get a i i +. extra.(i))
+    done;
+    for i = 1 to n - 1 do
+      let p = parent.(i) in
+      M.set a i i (M.get a i i +. g.(i));
+      M.set a p p (M.get a p p +. g.(i));
+      M.set a i p (M.get a i p -. g.(i));
+      M.set a p i (M.get a p i -. g.(i))
+    done;
+    let b = Array.init n (fun _ -> Util.Rng.float_range rng (-1.) 1.) in
+    let dense = M.solve a b in
+    let diag = Array.make n 0. in
+    for i = 0 to n - 1 do
+      diag.(i) <- extra.(i) +. (if i > 0 then g.(i) else 0.)
+    done;
+    for i = 1 to n - 1 do
+      diag.(parent.(i)) <- diag.(parent.(i)) +. g.(i)
+    done;
+    let rhs = Array.copy b in
+    let x = Array.make n 0. in
+    Rc_flat.solve flat ~diag ~rhs ~into:x;
+    Array.iteri
+      (fun i v -> check_f 1e-8 (Printf.sprintf "x%d" i) dense.(i) v)
+      x
+  done
+
+(* ---------------- Transient physics ---------------- *)
+
+let source_driven_rc_analytic () =
+  (* A step-like source through a lumped R into C: the output 63% point
+     lands near tau. Use a wire short enough to act lumped. *)
+  let input = W.ramp ~vdd ~slew:1e-12 () in
+  let load = Rc.leaf ~tag:"load" 100e-15 in
+  let tree = Rc.node [ (200., load) ] in
+  let res = T.simulate tech (T.Vsource input) tree in
+  let w = T.waveform res "load" in
+  let tau = 200. *. 100e-15 in
+  (match W.crossing w (0.632 *. vdd) with
+  | Some t ->
+      let t0 = Option.get (W.crossing (T.root_waveform res) (0.99 *. vdd)) in
+      check_f (0.1 *. tau) "63% at tau" tau (t -. t0)
+  | None -> Alcotest.fail "no crossing");
+  Alcotest.(check bool) "settled" true (T.settled res)
+
+let stage_monotone_settling () =
+  let input = W.smooth_curve ~vdd ~slew:80e-12 () in
+  let load = Rc.leaf ~tag:"load" 5e-15 in
+  let r, chain = Rc.wire tech ~length:800. load in
+  let tree = Rc.node ~tag:"out" [ (r, chain) ] in
+  let res = T.simulate tech (T.Driven_buffer (b20, input)) tree in
+  Alcotest.(check bool) "settled" true (T.settled res);
+  let w = T.waveform res "load" in
+  check_f 0.02 "reaches vdd" vdd (W.final_value w);
+  (* The load voltage never overshoots the rail appreciably. *)
+  Array.iter
+    (fun v ->
+      if v > 1.05 *. vdd || v < -0.05 *. vdd then
+        Alcotest.fail "voltage out of physical range")
+    (W.values w)
+
+let delay_grows_with_length () =
+  let input = W.smooth_curve ~vdd ~slew:80e-12 () in
+  let delay_at len =
+    let load = Rc.leaf ~tag:"load" 5e-15 in
+    let r, chain = Rc.wire tech ~length:len load in
+    let tree = Rc.node [ (r, chain) ] in
+    let res = T.simulate tech (T.Driven_buffer (b20, input)) tree in
+    Option.get (T.stage_delay res ~input ~tag:"load")
+  in
+  let d = List.map delay_at [ 200.; 600.; 1200. ] in
+  (match d with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "monotone" true (a < b && b < c);
+      (* Wire delay is superlinear in length: the increments grow. *)
+      Alcotest.(check bool) "superlinear" true (c -. b > b -. a)
+  | _ -> assert false)
+
+let slew_grows_with_length () =
+  let input = W.smooth_curve ~vdd ~slew:100e-12 () in
+  let slew_at len =
+    let load = Rc.leaf ~tag:"load" 1e-15 in
+    let r, chain = Rc.wire tech ~length:len load in
+    let tree = Rc.node [ (r, chain) ] in
+    let res = T.simulate tech (T.Driven_buffer (b20, input)) tree in
+    Option.get (T.node_slew res ~tag:"load")
+  in
+  let s = List.map slew_at [ 400.; 1000.; 2000. ] in
+  match s with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "monotone slew" true (a < b && b < c);
+      Alcotest.(check bool) "superlinear slew" true (c -. b > b -. a)
+  | _ -> assert false
+
+let bigger_buffer_is_faster () =
+  let input = W.smooth_curve ~vdd ~slew:80e-12 () in
+  let delay_with buf =
+    let load = Rc.leaf ~tag:"load" 5e-15 in
+    let r, chain = Rc.wire tech ~length:1500. load in
+    let tree = Rc.node [ (r, chain) ] in
+    let res = T.simulate tech (T.Driven_buffer (buf, input)) tree in
+    Option.get (T.stage_delay res ~input ~tag:"load")
+  in
+  Alcotest.(check bool) "30X beats 10X" true
+    (delay_with (B.by_name lib "BUF30X") < delay_with (B.by_name lib "BUF10X"))
+
+let intrinsic_delay_slew_sensitivity () =
+  (* The effect the paper builds Chapter 3 around: buffer intrinsic delay
+     varies by several ps across input slews. *)
+  let buf_delay slew =
+    let input = W.smooth_curve ~vdd ~slew () in
+    let load = Rc.leaf ~tag:"load" 1e-15 in
+    let r, chain = Rc.wire tech ~length:100. load in
+    let tree = Rc.node ~tag:"out" [ (r, chain) ] in
+    let res = T.simulate tech (T.Driven_buffer (B.by_name lib "BUF10X", input)) tree in
+    Option.get (W.delay_50 input (T.root_waveform res) ~vdd)
+  in
+  let d_fast = buf_delay 20e-12 and d_slow = buf_delay 200e-12 in
+  Alcotest.(check bool) "slower input -> larger intrinsic delay" true
+    (d_slow > d_fast);
+  Alcotest.(check bool) "swing of several ps" true (d_slow -. d_fast > 5e-12)
+
+let timestep_convergence () =
+  (* Halving dt changes the measured delay by well under a picosecond. *)
+  let input = W.smooth_curve ~vdd ~slew:80e-12 () in
+  let run dt =
+    let load = Rc.leaf ~tag:"load" 5e-15 in
+    let r, chain = Rc.wire tech ~length:600. load in
+    let tree = Rc.node [ (r, chain) ] in
+    let config = { T.default_config with T.dt } in
+    let res = T.simulate ~config tech (T.Driven_buffer (b20, input)) tree in
+    Option.get (T.stage_delay res ~input ~tag:"load")
+  in
+  let d1 = run 1e-12 and d2 = run 0.25e-12 in
+  Alcotest.(check bool) "dt convergence < 1ps" true (Float.abs (d1 -. d2) < 1e-12)
+
+let branch_loads_interact () =
+  (* Lengthening the right branch slows the left branch (common driver). *)
+  let input = W.smooth_curve ~vdd ~slew:80e-12 () in
+  let left_delay right_len =
+    let l = Rc.leaf ~tag:"l" 2e-15 and r_leaf = Rc.leaf ~tag:"r" 2e-15 in
+    let rl, cl = Rc.wire tech ~length:400. l in
+    let rr, cr = Rc.wire tech ~length:right_len r_leaf in
+    let tree = Rc.node ~tag:"out" [ (rl, cl); (rr, cr) ] in
+    let res = T.simulate tech (T.Driven_buffer (b20, input)) tree in
+    Option.get (T.stage_delay res ~input ~tag:"l")
+  in
+  Alcotest.(check bool) "sibling load slows left branch" true
+    (left_delay 1200. > left_delay 100. +. 1e-12)
+
+let unsettled_detection () =
+  (* A 10X buffer into a huge capacitance within a tiny time budget must
+     report not settled. *)
+  let input = W.smooth_curve ~vdd ~slew:80e-12 () in
+  let tree = Rc.node ~tag:"out" [ (10., Rc.leaf ~tag:"load" 5e-12) ] in
+  let config = { T.default_config with T.t_max = 0.3e-9 } in
+  let res =
+    T.simulate ~config tech (T.Driven_buffer (B.by_name lib "BUF10X", input)) tree
+  in
+  Alcotest.(check bool) "not settled" false (T.settled res)
+
+let suite =
+  [
+    Alcotest.test_case "flat preorder/parents" `Quick flat_preorder_parents;
+    Alcotest.test_case "tree solve = dense solve" `Quick flat_solve_matches_dense;
+    Alcotest.test_case "RC analytic time constant" `Quick
+      source_driven_rc_analytic;
+    Alcotest.test_case "stage settles physically" `Quick stage_monotone_settling;
+    Alcotest.test_case "delay grows with length" `Quick delay_grows_with_length;
+    Alcotest.test_case "slew grows with length" `Quick slew_grows_with_length;
+    Alcotest.test_case "bigger buffer faster" `Quick bigger_buffer_is_faster;
+    Alcotest.test_case "intrinsic delay slew sensitivity" `Quick
+      intrinsic_delay_slew_sensitivity;
+    Alcotest.test_case "timestep convergence" `Quick timestep_convergence;
+    Alcotest.test_case "branch loads interact" `Quick branch_loads_interact;
+    Alcotest.test_case "unsettled detection" `Quick unsettled_detection;
+  ]

@@ -1,0 +1,112 @@
+(* Tests for levelized topology generation (Sec. 4.1.1). *)
+
+module P = Geometry.Point
+
+let item x y delay = { Topology.pos = P.make x y; delay }
+
+let centroid_of items =
+  P.centroid (Array.to_list (Array.map (fun i -> i.Topology.pos) items))
+
+let pairing_is_perfect_matching () =
+  let rng = Util.Rng.create 99 in
+  List.iter
+    (fun n ->
+      let items =
+        Array.init n (fun _ ->
+            item (Util.Rng.float rng 100.) (Util.Rng.float rng 100.)
+              (Util.Rng.float rng 1e-10))
+      in
+      let p = Topology.level_pairing ~centroid:(centroid_of items) items in
+      let used = Array.make n 0 in
+      List.iter
+        (fun (i, j) ->
+          used.(i) <- used.(i) + 1;
+          used.(j) <- used.(j) + 1)
+        p.Topology.pairs;
+      (match p.Topology.seed with
+      | Some s -> used.(s) <- used.(s) + 1
+      | None -> ());
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check int) (Printf.sprintf "n=%d item %d used once" n i) 1 c)
+        used;
+      Alcotest.(check bool) "seed iff odd" (n mod 2 = 1)
+        (p.Topology.seed <> None))
+    [ 2; 3; 4; 7; 16; 33 ]
+
+let seed_is_max_latency () =
+  let items =
+    [| item 0. 0. 1e-10; item 10. 0. 5e-10; item 0. 10. 2e-10 |]
+  in
+  let p = Topology.level_pairing ~centroid:(centroid_of items) items in
+  Alcotest.(check (option int)) "max latency promoted" (Some 1) p.Topology.seed
+
+let close_pairs_preferred () =
+  (* Two tight clusters far apart: pairing must stay within clusters. *)
+  let items =
+    [| item 0. 0. 0.; item 1. 0. 0.; item 100. 100. 0.; item 101. 100. 0. |]
+  in
+  let p = Topology.level_pairing ~centroid:(centroid_of items) items in
+  let sorted_pair (i, j) = if i < j then (i, j) else (j, i) in
+  let pairs = List.map sorted_pair p.Topology.pairs in
+  Alcotest.(check bool) "cluster pairing" true
+    (List.mem (0, 1) pairs && List.mem (2, 3) pairs)
+
+let delay_difference_breaks_ties () =
+  (* Equidistant candidates: the one with the matching delay wins. *)
+  let a = item 0. 0. 5e-10 in
+  let near_same_delay = item 10. 0. 5e-10 in
+  let near_diff_delay = item 0. 10. 0. in
+  let cost_same = Topology.edge_cost a near_same_delay in
+  let cost_diff = Topology.edge_cost a near_diff_delay in
+  Alcotest.(check bool) "delay term dominates tie" true (cost_same < cost_diff)
+
+let edge_cost_formula () =
+  let a = item 0. 0. 1e-10 and b = item 3. 4. 3e-10 in
+  let c = Topology.edge_cost ~alpha:2. ~beta:1e13 a b in
+  Alcotest.(check (float 1e-9)) "eq 4.1" ((2. *. 7.) +. (1e13 *. 2e-10)) c
+
+let farthest_first_processing () =
+  (* The farthest node from the centroid is matched in the first pair. *)
+  let items =
+    [| item 0. 0. 0.; item 1. 1. 0.; item 50. 50. 0.; item 2. 0. 0. |]
+  in
+  let p = Topology.level_pairing ~centroid:(P.make 1. 1.) items in
+  match p.Topology.pairs with
+  | (i, _) :: _ -> Alcotest.(check int) "farthest first" 2 i
+  | [] -> Alcotest.fail "no pairs"
+
+let rejects_singletons () =
+  Alcotest.check_raises "too few"
+    (Invalid_argument "Topology.level_pairing: need at least 2 items")
+    (fun () ->
+      ignore
+        (Topology.level_pairing ~centroid:P.origin [| item 0. 0. 0. |]))
+
+let qcheck_matching_covers_all =
+  QCheck.Test.make ~name:"pairing covers every item exactly once" ~count:50
+    QCheck.(int_range 2 40)
+    (fun n ->
+      let rng = Util.Rng.create n in
+      let items =
+        Array.init n (fun _ ->
+            item (Util.Rng.float rng 50.) (Util.Rng.float rng 50.) 0.)
+      in
+      let p = Topology.level_pairing ~centroid:(centroid_of items) items in
+      let covered =
+        (2 * List.length p.Topology.pairs)
+        + match p.Topology.seed with Some _ -> 1 | None -> 0
+      in
+      covered = n)
+
+let suite =
+  [
+    Alcotest.test_case "perfect matching" `Quick pairing_is_perfect_matching;
+    Alcotest.test_case "seed = max latency" `Quick seed_is_max_latency;
+    Alcotest.test_case "close pairs preferred" `Quick close_pairs_preferred;
+    Alcotest.test_case "delay ties" `Quick delay_difference_breaks_ties;
+    Alcotest.test_case "edge cost formula" `Quick edge_cost_formula;
+    Alcotest.test_case "farthest-first" `Quick farthest_first_processing;
+    Alcotest.test_case "rejects singleton" `Quick rejects_singletons;
+    QCheck_alcotest.to_alcotest qcheck_matching_covers_all;
+  ]

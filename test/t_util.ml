@@ -1,0 +1,125 @@
+(* Tests for the util library: deterministic RNG and statistics. *)
+
+let check_f = Alcotest.(check (float 1e-9))
+
+let rng_deterministic () =
+  let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.int64 a) (Util.Rng.int64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Util.Rng.create 1 and b = Util.Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Util.Rng.int64 a <> Util.Rng.int64 b)
+
+let rng_copy_independent () =
+  let a = Util.Rng.create 7 in
+  ignore (Util.Rng.int64 a);
+  let b = Util.Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Util.Rng.int64 a)
+    (Util.Rng.int64 b);
+  ignore (Util.Rng.int64 a);
+  (* a advanced once more; streams now diverge *)
+  Alcotest.(check bool) "streams independent after divergence" true
+    (Util.Rng.int64 a <> Util.Rng.int64 b)
+
+let rng_float_bounds () =
+  let rng = Util.Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Util.Rng.float rng 5. in
+    if x < 0. || x >= 5. then Alcotest.fail "float out of [0,5)"
+  done
+
+let rng_int_bounds () =
+  let rng = Util.Rng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Util.Rng.int rng 17 in
+    if x < 0 || x >= 17 then Alcotest.fail "int out of [0,17)"
+  done
+
+let rng_int_coverage () =
+  let rng = Util.Rng.create 5 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 500 do
+    seen.(Util.Rng.int rng 8) <- true
+  done;
+  Array.iteri
+    (fun i s -> Alcotest.(check bool) (Printf.sprintf "value %d seen" i) true s)
+    seen
+
+let rng_gaussian_moments () =
+  let rng = Util.Rng.create 6 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Util.Rng.gaussian rng) in
+  let mean = Util.Stats.mean xs in
+  let sd = Util.Stats.stddev xs in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  Alcotest.(check bool) "stddev near 1" true (Float.abs (sd -. 1.) < 0.05)
+
+let rng_shuffle_permutation () =
+  let rng = Util.Rng.create 8 in
+  let a = Array.init 50 Fun.id in
+  Util.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let rng_split_independent () =
+  let a = Util.Rng.create 9 in
+  let b = Util.Rng.split a in
+  Alcotest.(check bool) "split stream differs" true
+    (Util.Rng.int64 a <> Util.Rng.int64 b)
+
+let stats_mean_variance () =
+  let a = [| 1.; 2.; 3.; 4. |] in
+  check_f "mean" 2.5 (Util.Stats.mean a);
+  check_f "variance" 1.25 (Util.Stats.variance a);
+  check_f "stddev" (sqrt 1.25) (Util.Stats.stddev a)
+
+let stats_min_max_spread () =
+  let a = [| 3.; -1.; 7.; 2. |] in
+  let lo, hi = Util.Stats.min_max a in
+  check_f "min" (-1.) lo;
+  check_f "max" 7. hi;
+  check_f "spread" 8. (Util.Stats.spread a);
+  check_f "singleton spread" 0. (Util.Stats.spread [| 5. |])
+
+let stats_percentile () =
+  let a = [| 10.; 20.; 30.; 40.; 50. |] in
+  check_f "p0" 10. (Util.Stats.percentile a 0.);
+  check_f "p50" 30. (Util.Stats.percentile a 0.5);
+  check_f "p100" 50. (Util.Stats.percentile a 1.);
+  check_f "p25 interpolated" 20. (Util.Stats.percentile a 0.25)
+
+let stats_errors () =
+  let a = [| 1.; 2.; 3. |] and b = [| 1.5; 2.; 2. |] in
+  check_f "max abs" 1. (Util.Stats.max_abs_error a b);
+  check_f "rms" (sqrt ((0.25 +. 0. +. 1.) /. 3.)) (Util.Stats.rms_error a b)
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~name:"percentile stays within min/max" ~count:200
+    QCheck.(pair (array_of_size Gen.(int_range 1 20) (float_bound_exclusive 100.)) (float_bound_inclusive 1.))
+    (fun (a, p) ->
+      QCheck.assume (Array.length a > 0);
+      let v = Util.Stats.percentile a p in
+      let lo, hi = Util.Stats.min_max a in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick rng_deterministic;
+    Alcotest.test_case "rng seed sensitivity" `Quick rng_seed_sensitivity;
+    Alcotest.test_case "rng copy" `Quick rng_copy_independent;
+    Alcotest.test_case "rng float bounds" `Quick rng_float_bounds;
+    Alcotest.test_case "rng int bounds" `Quick rng_int_bounds;
+    Alcotest.test_case "rng int coverage" `Quick rng_int_coverage;
+    Alcotest.test_case "rng gaussian moments" `Quick rng_gaussian_moments;
+    Alcotest.test_case "rng shuffle permutation" `Quick rng_shuffle_permutation;
+    Alcotest.test_case "rng split" `Quick rng_split_independent;
+    Alcotest.test_case "stats mean/variance" `Quick stats_mean_variance;
+    Alcotest.test_case "stats min/max/spread" `Quick stats_min_max_spread;
+    Alcotest.test_case "stats percentile" `Quick stats_percentile;
+    Alcotest.test_case "stats errors" `Quick stats_errors;
+    QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+  ]
