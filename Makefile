@@ -5,11 +5,21 @@ all:
 test:
 	dune runtest
 
+# The whole suite under a 4-domain pool and again forced sequential:
+# the parallel oracles must hold in both regimes.
+test-par:
+	CTS_DOMAINS=4 dune runtest --force
+	CTS_DOMAINS=1 dune runtest --force
+
 bench:
 	dune exec bench/main.exe
 
 bench-full:
 	dune exec bench/main.exe -- --scale 1.0
+
+# Sequential-vs-parallel wall-clock comparison; writes BENCH_parallel.json.
+bench-par:
+	dune exec bench/main.exe -- --profile fast --parallel-bench
 
 examples:
 	for e in quickstart soc_clock_domains benchmark_flow hstructure_study \
@@ -19,4 +29,4 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all test bench bench-full examples clean
+.PHONY: all test test-par bench bench-full bench-par examples clean

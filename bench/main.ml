@@ -6,66 +6,46 @@
      dune exec bench/main.exe                  -- all experiments, default scale
      dune exec bench/main.exe -- tab5.1        -- one experiment
      dune exec bench/main.exe -- --scale 1.0   -- full-size benchmarks
-     dune exec bench/main.exe -- --profile fast --no-kernels *)
-
-let usage () =
-  print_endline
-    "usage: main.exe [--scale F] [--profile fast|accurate] [--no-kernels] \
-     [experiment ...]\nexperiments: fig1.1 fig3.2 fig3.4 fig3.6 model-acc \
-     tab5.1 tab5.2 tab5.3 abl-sizing abl-balance";
-  exit 1
+     dune exec bench/main.exe -- --profile fast --no-kernels
+     dune exec bench/main.exe -- --profile fast --parallel-bench *)
 
 let () =
-  let scale = ref 0.25 in
-  let profile = ref Delaylib.Accurate in
-  let kernels = ref true in
-  let selected = ref [] in
-  let rec parse = function
-    | [] -> ()
-    | "--scale" :: v :: rest ->
-        scale := float_of_string v;
-        parse rest
-    | "--profile" :: "fast" :: rest ->
-        profile := Delaylib.Fast;
-        parse rest
-    | "--profile" :: "accurate" :: rest ->
-        profile := Delaylib.Accurate;
-        parse rest
-    | "--no-kernels" :: rest ->
-        kernels := false;
-        parse rest
-    | ("--help" | "-h") :: _ -> usage ()
-    | name :: rest ->
-        if List.mem_assoc name Experiments.all then begin
-          selected := name :: !selected;
-          parse rest
-        end
-        else begin
-          Printf.printf "unknown experiment %S\n" name;
-          usage ()
-        end
-  in
-  parse (List.tl (Array.to_list Sys.argv));
-  let todo =
-    match !selected with
-    | [] -> Experiments.all
-    | names -> List.filter (fun (n, _) -> List.mem n names) Experiments.all
+  let known = List.map fst Experiments.all in
+  let opts =
+    match Cli.parse ~known (List.tl (Array.to_list Sys.argv)) with
+    | Ok o when o.Cli.help ->
+        print_endline (Cli.usage ~known);
+        exit 0
+    | Ok o -> o
+    | Error msg ->
+        Printf.eprintf "error: %s\n%s\n" msg (Cli.usage ~known);
+        exit 1
   in
   Printf.printf "aggressive_cts benchmark harness (profile=%s, scale=%.2f)\n\n"
-    (match !profile with
+    (match opts.Cli.profile with
     | Delaylib.Fast -> "fast"
     | Delaylib.Accurate -> "accurate")
-    !scale;
-  let t0 = Unix.gettimeofday () in
-  let env = Experiments.make_env ~profile:!profile ~scale:!scale () in
-  Printf.printf "[delay/slew library ready in %.1f s]\n\n"
-    (Unix.gettimeofday () -. t0);
-  List.iter
-    (fun (name, driver) ->
-      let t0 = Unix.gettimeofday () in
-      let text = driver env in
-      Printf.printf "=== %s (%.1f s) ===\n%s\n" name
-        (Unix.gettimeofday () -. t0)
-        text)
-    todo;
-  if !kernels then Kernels.run env
+    opts.Cli.scale;
+  if opts.Cli.parallel_bench then Par_bench.run ~profile:opts.Cli.profile ()
+  else begin
+    let todo =
+      match opts.Cli.selected with
+      | [] -> Experiments.all
+      | names -> List.filter (fun (n, _) -> List.mem n names) Experiments.all
+    in
+    let t0 = Unix.gettimeofday () in
+    let env =
+      Experiments.make_env ~profile:opts.Cli.profile ~scale:opts.Cli.scale ()
+    in
+    Printf.printf "[delay/slew library ready in %.1f s]\n\n"
+      (Unix.gettimeofday () -. t0);
+    List.iter
+      (fun (name, driver) ->
+        let t0 = Unix.gettimeofday () in
+        let text = driver env in
+        Printf.printf "=== %s (%.1f s) ===\n%s\n" name
+          (Unix.gettimeofday () -. t0)
+          text)
+      todo;
+    if opts.Cli.kernels then Kernels.run env
+  end

@@ -16,6 +16,23 @@ let setup_logs verbose =
 let verbose_t =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
+let domains_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Worker domains for characterization and synthesis (default: \
+           $(b,CTS_DOMAINS) or the recommended domain count; 1 forces \
+           sequential execution). Results are bit-identical at any value.")
+
+let setup_domains = function
+  | Some n when n >= 1 -> Parallel.set_default_size n
+  | Some n ->
+      Printf.eprintf "cts_run: --domains must be positive (got %d)\n" n;
+      exit 1
+  | None -> ()
+
 let profile_t =
   let profile_conv =
     Arg.enum [ ("fast", Delaylib.Fast); ("accurate", Delaylib.Accurate) ]
@@ -122,8 +139,9 @@ let characterize_cmd =
       & opt string ".cache/delaylib.txt"
       & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Library output file.")
   in
-  let run profile out verbose =
+  let run profile out domains verbose =
     setup_logs verbose;
+    setup_domains domains;
     let t0 = Unix.gettimeofday () in
     let dl =
       Delaylib.characterize ~profile Circuit.Tech.default
@@ -143,7 +161,7 @@ let characterize_cmd =
   in
   Cmd.v
     (Cmd.info "characterize" ~doc:"Build and save the delay/slew library")
-    Term.(const run $ profile_t $ out_t $ verbose_t)
+    Term.(const run $ profile_t $ out_t $ domains_t $ verbose_t)
 
 (* --------------------------- synth -------------------------------- *)
 
@@ -188,8 +206,9 @@ let synth_cmd =
       & info [ "svg" ] ~docv:"PATH" ~doc:"Render the tree layout to SVG.")
   in
   let run bench file format scale profile cache hstructure deck slew_limit
-      n_blockages svg verbose =
+      n_blockages svg domains verbose =
     setup_logs verbose;
+    setup_domains domains;
     let dl = load_dl profile cache in
     let sinks, blocks =
       if n_blockages > 0 then begin
@@ -243,7 +262,7 @@ let synth_cmd =
     Term.(
       const run $ bench_t $ file_t $ format_t $ scale_t $ profile_t $ cache_t
       $ hstructure_t $ deck_t $ slew_limit_t $ blockages_t $ svg_t
-      $ verbose_t)
+      $ domains_t $ verbose_t)
 
 (* -------------------------- baseline ------------------------------ *)
 
@@ -270,8 +289,9 @@ let experiments_cmd =
       value & pos_all string []
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (default: all).")
   in
-  let run names scale profile verbose =
+  let run names scale profile domains verbose =
     setup_logs verbose;
+    setup_domains domains;
     let env = Experiments.make_env ~profile ~scale () in
     let todo =
       match names with
@@ -284,7 +304,7 @@ let experiments_cmd =
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run paper-reproduction experiment drivers")
-    Term.(const run $ names_t $ scale_t $ profile_t $ verbose_t)
+    Term.(const run $ names_t $ scale_t $ profile_t $ domains_t $ verbose_t)
 
 let () =
   let info =

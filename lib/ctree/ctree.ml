@@ -8,11 +8,11 @@ type kind =
 type t = { id : int; kind : kind; pos : Point.t; children : edge list }
 and edge = { length : float; route : Point.t list; child : t }
 
-let id_counter = ref 0
-
-let fresh_id () =
-  incr id_counter;
-  !id_counter
+(* Atomic: synthesis builds subtrees from several domains at once. Raw
+   ids are therefore unique but schedule-dependent; Cts renumbers the
+   finished tree canonically (see [renumber]) before returning it. *)
+let id_counter = Atomic.make 0
+let fresh_id () = 1 + Atomic.fetch_and_add id_counter 1
 
 let sink ~name ~pos ~cap =
   { id = fresh_id (); kind = Sink { name; cap }; pos; children = [] }
@@ -28,6 +28,15 @@ let connect ~parent_pos ?(extra = 0.) child =
   { length = Point.manhattan parent_pos child.pos +. extra;
     route = [];
     child }
+
+let renumber t =
+  let next = ref 0 in
+  let rec go n =
+    incr next;
+    let id = !next in
+    { n with id; children = List.map (fun e -> { e with child = go e.child }) n.children }
+  in
+  go t
 
 let rec iter f t =
   f t;

@@ -67,6 +67,15 @@ val iter : (t -> unit) -> t -> unit
 
 val fresh_id : unit -> int
 (** Global id supply used by the constructors (exposed for tools that
-    rebuild trees by hand). *)
+    rebuild trees by hand). Atomic — safe to call from any domain; the
+    values are unique but their order is schedule-dependent under
+    parallel construction (see {!renumber}). *)
+
+val renumber : t -> t
+(** Rebuild the tree with ids reassigned 1..n in preorder. This is the
+    canonical form: two structurally equal trees renumber to equal trees
+    regardless of which domains allocated their nodes, which is what
+    keeps {!Ctree_netlist} output bit-identical between sequential and
+    parallel synthesis. *)
 
 val pp_summary : Format.formatter -> t -> unit

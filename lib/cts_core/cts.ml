@@ -27,44 +27,79 @@ type state = {
   mutable flips : int;
 }
 
+(* Parallel merges may not touch the shared [state]: each merge task
+   writes an ordered log instead, and the main domain replays the logs
+   in pair order. Replaying the individual float increments (rather than
+   adding per-task subtotals) keeps the accumulated counters bit-exact:
+   float addition is not associative, so the sequence of additions must
+   match the sequential flow op for op. *)
+type entry =
+  | Child of int * (Port.t * Port.t)  (* children-table insertion *)
+  | Stats of Merge_routing.stats  (* one committed merge *)
+  | Flip  (* one H-structure correction *)
+
+type scratch = { st : state; mutable log : entry list (* newest first *) }
+
+let record sc e = sc.log <- e :: sc.log
+
+let apply_entries st entries =
+  List.iter
+    (function
+      | Child (id, pair) -> Hashtbl.replace st.children id pair
+      | Stats s ->
+          st.snaked <- st.snaked +. s.Merge_routing.snaked;
+          st.inserted <- st.inserted + s.Merge_routing.inserted_buffers;
+          if s.Merge_routing.detoured then st.detoured <- st.detoured + 1
+      | Flip -> st.flips <- st.flips + 1)
+    entries
+
+(* Log in execution order. *)
+let entries_of sc = List.rev sc.log
+
 (* Merge two ports; [commit] controls whether statistics are recorded
    (H-structure correction explores merges it may discard). *)
-let do_merge st ~commit a b =
+let do_merge sc ~commit a b =
   let port, s =
-    Merge_routing.merge ~blockages:st.blockages st.dl st.cfg a b
+    Merge_routing.merge ~blockages:sc.st.blockages sc.st.dl sc.st.cfg a b
   in
-  Hashtbl.replace st.children port.Port.node.Ctree.id (a, b);
-  if commit then begin
-    st.snaked <- st.snaked +. s.Merge_routing.snaked;
-    st.inserted <- st.inserted + s.Merge_routing.inserted_buffers;
-    if s.Merge_routing.detoured then st.detoured <- st.detoured + 1
-  end;
+  record sc (Child (port.Port.node.Ctree.id, (a, b)));
+  if commit then record sc (Stats s);
   port
 
-let grandchildren st (p : Port.t) = Hashtbl.find_opt st.children p.Port.node.Ctree.id
+(* Grandchildren lookups hit entries from the previous level (already in
+   the shared table) — the local log is checked first only for merges
+   this very task performed. *)
+let grandchildren sc (p : Port.t) =
+  let id = p.Port.node.Ctree.id in
+  let rec local = function
+    | Child (i, pair) :: _ when i = id -> Some pair
+    | _ :: tl -> local tl
+    | [] -> Hashtbl.find_opt sc.st.children id
+  in
+  local sc.log
 
 let as_item (p : Port.t) = { Topology.pos = Port.pos p; delay = p.Port.delay }
 
 (* H-structure handling for a pair about to merge (Sec. 4.1.2, Fig. 4.2):
    both methods re-examine the three pairings of the four grandchildren. *)
-let hstructure st a b =
-  match (st.cfg.Cts_config.hstructure, grandchildren st a, grandchildren st b) with
+let hstructure sc a b =
+  match (sc.st.cfg.Cts_config.hstructure, grandchildren sc a, grandchildren sc b) with
   | Cts_config.H_none, _, _ | _, None, _ | _, _, None -> (a, b)
   | Cts_config.H_reestimate, Some (a1, a2), Some (b1, b2) ->
       (* Method 1: pick the pairing whose worse edge cost (Eq. 4.1) is
          lowest; only reroute when it differs from the original. *)
-      let beta = st.cfg.Cts_config.topology_beta in
+      let beta = sc.st.cfg.Cts_config.topology_beta in
       let cost x y = Topology.edge_cost ~beta (as_item x) (as_item y) in
       let original = Float.max (cost a1 a2) (cost b1 b2) in
       let swap1 = Float.max (cost a1 b1) (cost a2 b2) in
       let swap2 = Float.max (cost a1 b2) (cost a2 b1) in
       if swap1 < original && swap1 <= swap2 then begin
-        st.flips <- st.flips + 1;
-        (do_merge st ~commit:true a1 b1, do_merge st ~commit:true a2 b2)
+        record sc Flip;
+        (do_merge sc ~commit:true a1 b1, do_merge sc ~commit:true a2 b2)
       end
       else if swap2 < original then begin
-        st.flips <- st.flips + 1;
-        (do_merge st ~commit:true a1 b2, do_merge st ~commit:true a2 b1)
+        record sc Flip;
+        (do_merge sc ~commit:true a1 b2, do_merge sc ~commit:true a2 b1)
       end
       else (a, b)
   | Cts_config.H_correct, Some (a1, a2), Some (b1, b2) ->
@@ -74,24 +109,26 @@ let hstructure st a b =
         Float.max x.Port.skew_est y.Port.skew_est
       in
       let m_ab = (a, b) in
-      let m_11 = do_merge st ~commit:false a1 b1 in
-      let m_22 = do_merge st ~commit:false a2 b2 in
-      let m_12 = do_merge st ~commit:false a1 b2 in
-      let m_21 = do_merge st ~commit:false a2 b1 in
+      let m_11 = do_merge sc ~commit:false a1 b1 in
+      let m_22 = do_merge sc ~commit:false a2 b2 in
+      let m_12 = do_merge sc ~commit:false a1 b2 in
+      let m_21 = do_merge sc ~commit:false a2 b1 in
       let original = skew_of a b in
       let swap1 = skew_of m_11 m_22 in
       let swap2 = skew_of m_12 m_21 in
       if swap1 < original && swap1 <= swap2 then begin
-        st.flips <- st.flips + 1;
+        record sc Flip;
         (m_11, m_22)
       end
       else if swap2 < original then begin
-        st.flips <- st.flips + 1;
+        record sc Flip;
         (m_12, m_21)
       end
       else m_ab
 
-(* Shared root finalization: plant the source driver. *)
+(* Shared root finalization: plant the source driver and canonicalize
+   node ids (preorder renumbering) so the finished tree — and therefore
+   its netlist — is independent of which domains built its nodes. *)
 let finalize dl (cfg : Cts_config.t) st (root_port : Port.t) ~levels =
   let driver = Buffer_lib.largest (Delaylib.buffers dl) in
   let intrinsic =
@@ -100,8 +137,9 @@ let finalize dl (cfg : Cts_config.t) st (root_port : Port.t) ~levels =
       .Delaylib.buf_delay
   in
   let tree =
-    Ctree.buffer ~pos:root_port.Port.node.Ctree.pos driver
-      [ Ctree.edge ~length:0. root_port.Port.node ]
+    Ctree.renumber
+      (Ctree.buffer ~pos:root_port.Port.node.Ctree.pos driver
+         [ Ctree.edge ~length:0. root_port.Port.node ])
   in
   {
     tree;
@@ -126,25 +164,33 @@ let fresh_state dl cfg blockages =
     flips = 0;
   }
 
-let synthesize_bisection ?config ?(blockages = Blockage.empty) dl specs =
+let leaf_port (cfg : Cts_config.t) (s : Sinks.spec) =
+  let offset =
+    Option.value ~default:0.
+      (List.assoc_opt s.Sinks.name cfg.Cts_config.sink_offsets)
+  in
+  Port.of_sink ~offset s
+
+let synthesize_bisection ?config ?(blockages = Blockage.empty) ?pool dl specs =
   (match Sinks.validate specs with
   | [] -> ()
   | errs ->
       invalid_arg ("Cts.synthesize_bisection: " ^ String.concat "; " errs));
   let cfg = match config with Some c -> c | None -> Cts_config.default dl in
+  let pool = match pool with Some p -> p | None -> Parallel.default_pool () in
   let st = fresh_state dl cfg blockages in
-  let depth = ref 0 in
-  (* Recursive median bisection along the longer bounding-box axis. *)
+  (* Fork the recursion onto the pool near the root, where subtrees are
+     big; below [par_levels] the task grain is too fine to pay off. *)
+  let par_levels = if Parallel.size pool <= 1 then 0 else 3 in
+  (* Recursive median bisection along the longer bounding-box axis.
+     Returns the subtree port, the deepest level reached, and the merge
+     log in execution order (left subtree, right subtree, own merge) —
+     replayed by the caller so the shared counters accumulate in the
+     same deterministic order at every pool size. *)
   let rec go specs level =
-    if level > !depth then depth := level;
     match specs with
     | [] -> assert false
-    | [ s ] ->
-        let offset =
-          Option.value ~default:0.
-            (List.assoc_opt s.Sinks.name cfg.Cts_config.sink_offsets)
-        in
-        Port.of_sink ~offset s
+    | [ s ] -> (leaf_port cfg s, level, [])
     | _ :: _ :: _ ->
         let bbox = Sinks.bbox specs in
         let horizontal =
@@ -157,26 +203,32 @@ let synthesize_bisection ?config ?(blockages = Blockage.empty) dl specs =
         let n = List.length sorted in
         let left = List.filteri (fun i _ -> i < n / 2) sorted in
         let right = List.filteri (fun i _ -> i >= n / 2) sorted in
-        do_merge st ~commit:true (go left (level + 1)) (go right (level + 1))
+        let (pl, dl_left, log_left), (pr, dl_right, log_right) =
+          if level < par_levels && n >= 8 then
+            match
+              Parallel.map pool (fun side -> go side (level + 1)) [| left; right |]
+            with
+            | [| l; r |] -> (l, r)
+            | _ -> assert false
+          else (go left (level + 1), go right (level + 1))
+        in
+        let sc = { st; log = [] } in
+        let port = do_merge sc ~commit:true pl pr in
+        (port, Int.max dl_left dl_right, log_left @ log_right @ entries_of sc)
   in
-  let root_port = go specs 0 in
-  finalize dl cfg st root_port ~levels:!depth
+  let root_port, depth, log = go specs 0 in
+  apply_entries st log;
+  finalize dl cfg st root_port ~levels:depth
 
-let synthesize ?config ?(blockages = Blockage.empty) dl specs =
+let synthesize ?config ?(blockages = Blockage.empty) ?pool dl specs =
   (match Sinks.validate specs with
   | [] -> ()
   | errs -> invalid_arg ("Cts.synthesize: " ^ String.concat "; " errs));
   let cfg = match config with Some c -> c | None -> Cts_config.default dl in
+  let pool = match pool with Some p -> p | None -> Parallel.default_pool () in
   let st = fresh_state dl cfg blockages in
   let centroid = Sinks.centroid specs in
-  let leaf_port (s : Sinks.spec) =
-    let offset =
-      Option.value ~default:0.
-        (List.assoc_opt s.Sinks.name cfg.Cts_config.sink_offsets)
-    in
-    Port.of_sink ~offset s
-  in
-  let ports = ref (List.map leaf_port specs) in
+  let ports = ref (List.map (leaf_port cfg) specs) in
   let levels = ref 0 in
   while List.length !ports > 1 do
     incr levels;
@@ -186,15 +238,30 @@ let synthesize ?config ?(blockages = Blockage.empty) dl specs =
       Topology.level_pairing ~beta:cfg.Cts_config.topology_beta ~centroid
         t_items
     in
+    (* Every pair of a level is independent: fan the merge-routing out
+       across the pool. Tasks read the shared state (children table,
+       delay library, span cache) but defer all writes to their logs;
+       the replay below happens in pair order, making the result — tree
+       structure, netlist and counters — bit-identical to a sequential
+       run. *)
+    let merged =
+      Parallel.map pool
+        (fun (i, j) ->
+          let sc = { st; log = [] } in
+          let a, b = hstructure sc items.(i) items.(j) in
+          let port = do_merge sc ~commit:true a b in
+          (port, entries_of sc))
+        (Array.of_list pairing.Topology.pairs)
+    in
     let next = ref [] in
     (match pairing.Topology.seed with
     | Some i -> next := items.(i) :: !next
     | None -> ());
-    List.iter
-      (fun (i, j) ->
-        let a, b = hstructure st items.(i) items.(j) in
-        next := do_merge st ~commit:true a b :: !next)
-      pairing.Topology.pairs;
+    Array.iter
+      (fun (port, log) ->
+        apply_entries st log;
+        next := port :: !next)
+      merged;
     Log.debug (fun m ->
         m "level %d: %d -> %d subtrees" !levels (Array.length items)
           (List.length !next));

@@ -19,20 +19,31 @@ type result = {
 }
 
 val synthesize :
-  ?config:Cts_config.t -> ?blockages:Blockage.t -> Delaylib.t ->
-  Sinks.spec list -> result
+  ?config:Cts_config.t -> ?blockages:Blockage.t -> ?pool:Parallel.t ->
+  Delaylib.t -> Sinks.spec list -> result
 (** Synthesize a buffered clock tree over the given sinks. The default
     configuration is {!Cts_config.default} on the delay library.
     [blockages] are macro regions buffers must avoid (wires may cross
-    them). Raises [Invalid_argument] on an empty or invalid sink list. *)
+    them). Raises [Invalid_argument] on an empty or invalid sink list.
+
+    [pool] (default {!Parallel.default_pool}) runs each level's
+    independent merge-routing pairs concurrently. {b Determinism}: merge
+    tasks defer every shared-state write to a per-pair log that the main
+    domain replays in pair order, and node ids are renumbered canonically
+    before returning, so the result — tree, netlist, and every counter —
+    is bit-identical to a sequential run at any pool size. *)
 
 val synthesize_bisection :
-  ?config:Cts_config.t -> ?blockages:Blockage.t -> Delaylib.t ->
-  Sinks.spec list -> result
+  ?config:Cts_config.t -> ?blockages:Blockage.t -> ?pool:Parallel.t ->
+  Delaylib.t -> Sinks.spec list -> result
 (** Fixed-topology variant (the paper's complexity analysis notes the
     flow drops to O(n l^2) when the topology is given): the merge order
     comes from recursive median bisection of the sink set along the
     longer bounding-box axis — a balanced, placement-driven binary
     topology — and each merge still runs the full merge-routing
     machinery. H-structure handling does not apply (the topology is
-    fixed); [flippings] is always 0. *)
+    fixed); [flippings] is always 0.
+
+    [pool] parallelizes the recursion near the root (left and right
+    subtrees fork onto the pool); the same log-replay scheme as
+    {!synthesize} keeps the result bit-identical to a sequential run. *)

@@ -11,20 +11,31 @@ type eval = {
   feasible : bool;
 }
 
-(* Spans depend only on (buffer, load class, slew target); memoize. *)
+(* Spans depend only on (buffer, load class, slew target); memoize.
+   The table is shared by every domain of the synthesis pool, so all
+   access goes through [span_mutex]. The computation itself runs outside
+   the lock: two domains may race to fill the same key, but they compute
+   the identical value from the identical inputs, so the cache stays
+   deterministic regardless of the schedule. *)
 let span_cache : (string * float * float, float) Hashtbl.t = Hashtbl.create 64
+let span_mutex = Mutex.create ()
 
 let span dl (cfg : Cts_config.t) ~drive ~load_cap =
   let class_cap = Delaylib.load_class_cap dl load_cap in
   let key = (drive.Buffer_lib.name, class_cap, cfg.slew_target) in
-  match Hashtbl.find_opt span_cache key with
+  Mutex.lock span_mutex;
+  let hit = Hashtbl.find_opt span_cache key in
+  Mutex.unlock span_mutex;
+  match hit with
   | Some s -> s
   | None ->
       let s =
         Delaylib.max_length_for_slew dl ~drive ~load_cap
           ~input_slew:cfg.slew_target ~slew_limit:cfg.slew_target
       in
+      Mutex.lock span_mutex;
       Hashtbl.replace span_cache key s;
+      Mutex.unlock span_mutex;
       s
 
 let stage_delay dl (cfg : Cts_config.t) drive ~length ~load_cap =

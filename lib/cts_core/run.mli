@@ -34,7 +34,13 @@ val span :
   load_cap:float -> float
 (** Memoized longest wire [drive] can put in front of a load of the given
     class while meeting the slew target under the target input-slew
-    assumption. *)
+    assumption.
+
+    {b Domain safety}: the memo table is mutex-guarded and may be hit
+    from every domain of the synthesis pool concurrently. Cached values
+    are a pure function of the key, so which domain fills an entry never
+    changes any result — the parallel flow stays bit-identical to the
+    sequential one. *)
 
 val eval :
   ?place:(cur:float -> float -> float) -> Delaylib.t -> Cts_config.t ->

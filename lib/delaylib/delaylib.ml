@@ -129,13 +129,25 @@ let residual_stats label fit_eval pts expected =
   let worst = Util.Stats.max_abs_error predicted expected in
   (label, rms, worst)
 
-let characterize ?(profile = Accurate) tech buffers =
+(* One characterization unit, runnable on any pool domain: fits for one
+   (driver, load-class) single wire or one (driver, class-pair) branch.
+   The residual chunk is kept in the same newest-first order the
+   sequential loop used to prepend, so the join below rebuilds the exact
+   sequential residual list. *)
+type char_result =
+  | R_single of (string * int) * single_fit * (string * float * float) list
+  | R_branch of (string * int * int) * branch_fit * (string * float * float) list
+
+let characterize ?(profile = Accurate) ?pool tech buffers =
   if buffers = [] then invalid_arg "Delaylib.characterize: no buffers";
+  let pool = match pool with Some p -> p | None -> Parallel.default_pool () in
   let deg_s, slews, lens = single_sweep profile in
   let deg_b, bslews, blens = branch_sweep profile in
   let classes = default_classes in
   let branch_classes = default_branch_classes in
-  (* Input waveforms shaped by a real input buffer, one per slew value. *)
+  (* Input waveforms shaped by a real input buffer, one per slew value.
+     Computed up front on the calling domain; the jobs below only read
+     them. *)
   let binput = Buffer_lib.smallest buffers in
   let all_slews = List.sort_uniq Float.compare (slews @ bslews) in
   let waves =
@@ -146,115 +158,135 @@ let characterize ?(profile = Accurate) tech buffers =
       all_slews
   in
   let wave_for s = List.assoc s waves in
+  let single_job (drive : Buffer_lib.t) ci load_cap () =
+    let pts = ref [] and bd = ref [] and wd = ref [] and ws = ref [] in
+    List.iter
+      (fun slew ->
+        let input = wave_for slew in
+        List.iter
+          (fun length ->
+            match measure_single tech drive input ~length ~load_cap with
+            | Some (b, w, s) ->
+                pts := (slew, length) :: !pts;
+                bd := b :: !bd;
+                wd := w :: !wd;
+                ws := s :: !ws
+            | None ->
+                Log.warn (fun m ->
+                    m "dropping unsettled sample %s/%d L=%g" drive.name ci
+                      length))
+          lens)
+      slews;
+    let pts = Array.of_list (List.rev !pts) in
+    let bd = Array.of_list (List.rev !bd) in
+    let wd = Array.of_list (List.rev !wd) in
+    let ws = Array.of_list (List.rev !ws) in
+    let fit = Polyfit.fit2 ~degree:deg_s in
+    let f =
+      {
+        buf_delay_fit = fit pts bd;
+        wire_delay_fit = fit pts wd;
+        wire_slew_fit = fit pts ws;
+      }
+    in
+    let lbl kind = Printf.sprintf "%s/c%d/%s" drive.name ci kind in
+    let chunk =
+      [
+        residual_stats (lbl "buf_delay")
+          (fun (s, l) -> Polyfit.eval2 f.buf_delay_fit s l)
+          pts bd;
+        residual_stats (lbl "wire_delay")
+          (fun (s, l) -> Polyfit.eval2 f.wire_delay_fit s l)
+          pts wd;
+        residual_stats (lbl "wire_slew")
+          (fun (s, l) -> Polyfit.eval2 f.wire_slew_fit s l)
+          pts ws;
+      ]
+    in
+    R_single ((drive.Buffer_lib.name, ci), f, chunk)
+  in
+  let branch_job (drive : Buffer_lib.t) cl cr () =
+    let pts = ref []
+    and dl = ref []
+    and dr = ref []
+    and sl = ref []
+    and sr = ref [] in
+    List.iter
+      (fun slew ->
+        let input = wave_for slew in
+        List.iter
+          (fun len_left ->
+            List.iter
+              (fun len_right ->
+                let a, b, c, d =
+                  measure_branch tech drive input ~len_left ~len_right
+                    ~cap_left:classes.(cl) ~cap_right:classes.(cr)
+                in
+                pts := (slew, len_left, len_right) :: !pts;
+                dl := a :: !dl;
+                dr := b :: !dr;
+                sl := c :: !sl;
+                sr := d :: !sr)
+              blens)
+          blens)
+      bslews;
+    let pts = Array.of_list (List.rev !pts) in
+    let arr r = Array.of_list (List.rev !r) in
+    let fit = Polyfit.fit3 ~degree:deg_b in
+    let f =
+      {
+        delay_left_fit = fit pts (arr dl);
+        delay_right_fit = fit pts (arr dr);
+        slew_left_fit = fit pts (arr sl);
+        slew_right_fit = fit pts (arr sr);
+      }
+    in
+    let lbl kind = Printf.sprintf "%s/b%d-%d/%s" drive.name cl cr kind in
+    let chunk =
+      [
+        residual_stats (lbl "delay_left")
+          (fun (s, a, b) -> Polyfit.eval3 f.delay_left_fit s a b)
+          pts (arr dl);
+        residual_stats (lbl "slew_left")
+          (fun (s, a, b) -> Polyfit.eval3 f.slew_left_fit s a b)
+          pts (arr sl);
+      ]
+    in
+    R_branch ((drive.Buffer_lib.name, cl, cr), f, chunk)
+  in
+  (* Enumerate jobs in the exact order the sequential loops visited them;
+     the pool may finish them in any order but results come back indexed,
+     and the join below walks them in job order. *)
+  let jobs =
+    List.concat_map
+      (fun (drive : Buffer_lib.t) ->
+        let s_jobs =
+          Array.to_list (Array.mapi (fun ci cap -> single_job drive ci cap) classes)
+        in
+        let b_jobs =
+          List.concat_map
+            (fun cl ->
+              List.filter_map
+                (fun cr -> if cl <= cr then Some (branch_job drive cl cr) else None)
+                (Array.to_list branch_classes))
+            (Array.to_list branch_classes)
+        in
+        s_jobs @ b_jobs)
+      buffers
+  in
+  let results = Parallel.map pool (fun job -> job ()) (Array.of_list jobs) in
   let singles = Hashtbl.create 16 in
   let branches = Hashtbl.create 16 in
   let residuals = ref [] in
-  List.iter
-    (fun (drive : Buffer_lib.t) ->
-      Array.iteri
-        (fun ci load_cap ->
-          let pts = ref [] and bd = ref [] and wd = ref [] and ws = ref [] in
-          List.iter
-            (fun slew ->
-              let input = wave_for slew in
-              List.iter
-                (fun length ->
-                  match measure_single tech drive input ~length ~load_cap with
-                  | Some (b, w, s) ->
-                      pts := (slew, length) :: !pts;
-                      bd := b :: !bd;
-                      wd := w :: !wd;
-                      ws := s :: !ws
-                  | None ->
-                      Log.warn (fun m ->
-                          m "dropping unsettled sample %s/%d L=%g" drive.name
-                            ci length))
-                lens)
-            slews;
-          let pts = Array.of_list (List.rev !pts) in
-          let bd = Array.of_list (List.rev !bd) in
-          let wd = Array.of_list (List.rev !wd) in
-          let ws = Array.of_list (List.rev !ws) in
-          let fit = Polyfit.fit2 ~degree:deg_s in
-          let f =
-            {
-              buf_delay_fit = fit pts bd;
-              wire_delay_fit = fit pts wd;
-              wire_slew_fit = fit pts ws;
-            }
-          in
-          Hashtbl.replace singles (drive.Buffer_lib.name, ci) f;
-          let lbl kind = Printf.sprintf "%s/c%d/%s" drive.name ci kind in
-          residuals :=
-            residual_stats (lbl "buf_delay")
-              (fun (s, l) -> Polyfit.eval2 f.buf_delay_fit s l)
-              pts bd
-            :: residual_stats (lbl "wire_delay")
-                 (fun (s, l) -> Polyfit.eval2 f.wire_delay_fit s l)
-                 pts wd
-            :: residual_stats (lbl "wire_slew")
-                 (fun (s, l) -> Polyfit.eval2 f.wire_slew_fit s l)
-                 pts ws
-            :: !residuals)
-        classes;
-      (* Branch components: only over the designated branch classes. *)
-      Array.iter
-        (fun cl ->
-          Array.iter
-            (fun cr ->
-              if cl <= cr then begin
-                let pts = ref []
-                and dl = ref []
-                and dr = ref []
-                and sl = ref []
-                and sr = ref [] in
-                List.iter
-                  (fun slew ->
-                    let input = wave_for slew in
-                    List.iter
-                      (fun len_left ->
-                        List.iter
-                          (fun len_right ->
-                            let a, b, c, d =
-                              measure_branch tech drive input ~len_left
-                                ~len_right ~cap_left:classes.(cl)
-                                ~cap_right:classes.(cr)
-                            in
-                            pts := (slew, len_left, len_right) :: !pts;
-                            dl := a :: !dl;
-                            dr := b :: !dr;
-                            sl := c :: !sl;
-                            sr := d :: !sr)
-                          blens)
-                      blens)
-                  bslews;
-                let pts = Array.of_list (List.rev !pts) in
-                let arr r = Array.of_list (List.rev !r) in
-                let fit = Polyfit.fit3 ~degree:deg_b in
-                let f =
-                  {
-                    delay_left_fit = fit pts (arr dl);
-                    delay_right_fit = fit pts (arr dr);
-                    slew_left_fit = fit pts (arr sl);
-                    slew_right_fit = fit pts (arr sr);
-                  }
-                in
-                Hashtbl.replace branches (drive.Buffer_lib.name, cl, cr) f;
-                let lbl kind =
-                  Printf.sprintf "%s/b%d-%d/%s" drive.name cl cr kind
-                in
-                residuals :=
-                  residual_stats (lbl "delay_left")
-                    (fun (s, a, b) -> Polyfit.eval3 f.delay_left_fit s a b)
-                    pts (arr dl)
-                  :: residual_stats (lbl "slew_left")
-                       (fun (s, a, b) -> Polyfit.eval3 f.slew_left_fit s a b)
-                       pts (arr sl)
-                  :: !residuals
-              end)
-            branch_classes)
-        branch_classes)
-    buffers;
+  Array.iter
+    (function
+      | R_single (key, f, chunk) ->
+          Hashtbl.replace singles key f;
+          residuals := chunk @ !residuals
+      | R_branch (key, f, chunk) ->
+          Hashtbl.replace branches key f;
+          residuals := chunk @ !residuals)
+    results;
   {
     tech;
     buffers;
@@ -564,15 +596,15 @@ let load path =
     residuals = List.rev !residuals;
   }
 
-let load_or_characterize ?(profile = Accurate) ~cache tech buffers =
+let load_or_characterize ?(profile = Accurate) ?pool ~cache tech buffers =
   if Sys.file_exists cache then
     try load cache
     with _ ->
-      let t = characterize ~profile tech buffers in
+      let t = characterize ~profile ?pool tech buffers in
       save t cache;
       t
   else begin
-    let t = characterize ~profile tech buffers in
+    let t = characterize ~profile ?pool tech buffers in
     (try save t cache with Sys_error _ -> ());
     t
   end

@@ -31,10 +31,20 @@ type profile = Fast | Accurate
     is for experiments. *)
 
 val characterize :
-  ?profile:profile -> Circuit.Tech.t -> Circuit.Buffer_lib.t list -> t
+  ?profile:profile -> ?pool:Parallel.t -> Circuit.Tech.t ->
+  Circuit.Buffer_lib.t list -> t
 (** Run all characterization simulations and fit. Seconds to tens of
     seconds depending on profile; see {!load_or_characterize} for the
-    cached entry point. *)
+    cached entry point.
+
+    [pool] (default {!Parallel.default_pool}) distributes the independent
+    per-(driver, load-class) sample-and-fit units across domains. Results
+    are joined in the sequential enumeration order, so the library —
+    including fit-report ordering and save-file layout — is identical at
+    any pool size.
+
+    {b Domain safety}: a characterized [t] is immutable after this
+    returns and may be read concurrently from every domain. *)
 
 val save : t -> string -> unit
 (** Write the fitted library to a text file. *)
@@ -43,10 +53,10 @@ val load : string -> t
 (** Read a library back; raises [Failure] on malformed input. *)
 
 val load_or_characterize :
-  ?profile:profile -> cache:string -> Circuit.Tech.t ->
+  ?profile:profile -> ?pool:Parallel.t -> cache:string -> Circuit.Tech.t ->
   Circuit.Buffer_lib.t list -> t
 (** Load from [cache] when present and readable, otherwise characterize
-    and save to [cache]. *)
+    (on [pool], see {!characterize}) and save to [cache]. *)
 
 type single_eval = {
   buf_delay : float;  (** Driving-buffer intrinsic delay (s). *)

@@ -1,0 +1,74 @@
+(** Fixed-size domain work pool for the embarrassingly parallel stages of
+    the flow (delay-library characterization, level-wise merge-routing).
+
+    A pool owns [size - 1] worker domains plus the calling domain, which
+    always participates in its own jobs — so a pool of size 1 spawns no
+    domains and degrades to plain sequential execution, and nested jobs
+    (a task submitting a sub-job to the same pool) cannot deadlock: the
+    publisher drains its own job even when every worker is busy.
+
+    {b Determinism contract}: {!map} applies [f] to the elements in an
+    unspecified interleaving across domains, but the result array is
+    always index-ordered. Callers that need bit-identical results across
+    pool sizes must make [f] pure up to commutative-and-deterministic
+    memoization (see {!Run.span}) and must apply any side effects
+    themselves, in index order, after {!map} returns — this is how
+    {!Cts.synthesize} keeps parallel and sequential synthesis
+    bit-identical.
+
+    {b Exception contract}: if one or more tasks raise, every task of the
+    job still runs to completion (or raises), the first captured
+    exception is re-raised in the caller with its backtrace, and the pool
+    remains usable. *)
+
+type t
+(** A pool handle. Pools are cheap (a few idle domains); create one per
+    concern or share {!default_pool}. A pool must be used from one client
+    thread at a time (nested submission from inside tasks is fine). *)
+
+val env_var : string
+(** ["CTS_DOMAINS"]. *)
+
+val parse_size : string -> int option
+(** Parse a pool size from an environment-variable value: a positive
+    decimal integer, clamped to [1, 64]. [None] on anything else. *)
+
+val size_from_env : unit -> int option
+(** [CTS_DOMAINS] parsed with {!parse_size}; [None] when unset or
+    invalid. Re-read on every call. *)
+
+val default_size : unit -> int
+(** Size used by {!create} when none is given: the {!set_default_size}
+    override if any, else [CTS_DOMAINS], else
+    [Domain.recommended_domain_count ()] capped at 8. *)
+
+val create : ?size:int -> unit -> t
+(** Create a pool with [size - 1] worker domains (default
+    {!default_size}; clamped to at least 1). Degrades gracefully: if a
+    domain fails to spawn, the pool runs with the workers it got —
+    possibly none, i.e. fully sequential. *)
+
+val size : t -> int
+(** Effective parallelism: 1 (the caller) + live worker domains. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers. Idempotent. Jobs must not be in flight. *)
+
+val with_pool : ?size:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exceptions). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]. With a pool of size 1 (or arrays of length
+    at most 1) this {e is} [Array.map f arr] on the calling domain. *)
+
+val iter : t -> ('a -> unit) -> 'a array -> unit
+(** Parallel [Array.iter]; same contracts as {!map}. *)
+
+val default_pool : unit -> t
+(** The process-wide shared pool, created on first use with
+    {!default_size} and shut down automatically at exit. *)
+
+val set_default_size : int -> unit
+(** Override the default pool size (e.g. from a [--domains N] flag). If
+    the shared pool already exists at a different size it is shut down
+    and recreated on next use. Call before synthesis starts. *)

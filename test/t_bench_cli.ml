@@ -1,0 +1,69 @@
+(* Regression tests for the benchmark harness argument parser: malformed
+   --profile and --scale values used to be swallowed or crash with an
+   unhandled exception; they must all surface as one-line errors. *)
+
+let known = [ "fig1.1"; "tab5.1"; "tab5.2" ]
+
+let parse args = Cli.parse ~known args
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+let check_error name args expected_fragment =
+  Alcotest.test_case name `Quick (fun () ->
+      match parse args with
+      | Ok _ -> Alcotest.failf "expected an error for %s" (String.concat " " args)
+      | Error msg ->
+          if not (contains msg expected_fragment) then
+            Alcotest.failf "error %S does not mention %S" msg expected_fragment)
+
+let test_defaults () =
+  match parse [] with
+  | Ok o ->
+      Alcotest.(check (float 0.)) "scale" 0.25 o.Cli.scale;
+      Alcotest.(check bool) "kernels" true o.Cli.kernels;
+      Alcotest.(check bool) "parallel_bench" false o.Cli.parallel_bench;
+      Alcotest.(check (list string)) "selected" [] o.Cli.selected
+  | Error e -> Alcotest.fail e
+
+let test_good_args () =
+  match
+    parse [ "--scale"; "0.5"; "--profile"; "fast"; "--no-kernels"; "tab5.1" ]
+  with
+  | Ok o ->
+      Alcotest.(check (float 0.)) "scale" 0.5 o.Cli.scale;
+      Alcotest.(check bool) "fast" true (o.Cli.profile = Delaylib.Fast);
+      Alcotest.(check bool) "kernels off" false o.Cli.kernels;
+      Alcotest.(check (list string)) "selected" [ "tab5.1" ] o.Cli.selected
+  | Error e -> Alcotest.fail e
+
+let test_parallel_bench_flag () =
+  match parse [ "--parallel-bench" ] with
+  | Ok o -> Alcotest.(check bool) "flag" true o.Cli.parallel_bench
+  | Error e -> Alcotest.fail e
+
+let test_usage_lists_experiments () =
+  let u = Cli.usage ~known in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in usage") true (contains u name))
+    known
+
+let suite =
+  [
+    Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "good arguments" `Quick test_good_args;
+    Alcotest.test_case "--parallel-bench" `Quick test_parallel_bench_flag;
+    Alcotest.test_case "usage lists experiments" `Quick
+      test_usage_lists_experiments;
+    check_error "unknown --profile value is rejected"
+      [ "--profile"; "quick" ] "quick";
+    check_error "--profile without value" [ "--profile" ] "--profile";
+    check_error "non-float --scale" [ "--scale"; "abc" ] "abc";
+    check_error "--scale without value" [ "--scale" ] "--scale";
+    check_error "non-positive --scale" [ "--scale"; "-1" ] "positive";
+    check_error "unknown experiment" [ "tab9.9" ] "tab9.9";
+    check_error "unknown option" [ "--frobnicate" ] "--frobnicate";
+  ]

@@ -22,4 +22,6 @@ let () =
       ("blockage", T_blockage.suite);
       ("robust", T_robust.suite);
       ("bounded", T_bounded.suite);
+      ("parallel", T_parallel.suite);
+      ("bench_cli", T_bench_cli.suite);
     ]
