@@ -21,6 +21,10 @@ bench-full:
 bench-par:
 	dune exec bench/main.exe -- --profile fast --parallel-bench
 
+# Determinism / domain-safety source lint (rules L1-L5; see DESIGN.md).
+lint:
+	dune build @lint
+
 examples:
 	for e in quickstart soc_clock_domains benchmark_flow hstructure_study \
 	         delay_model_tour tree_gallery; do \
@@ -29,4 +33,4 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all test test-par bench bench-full bench-par examples clean
+.PHONY: all test test-par bench bench-full bench-par lint examples clean

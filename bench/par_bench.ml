@@ -43,6 +43,20 @@ let run ~profile () =
   in
   Printf.printf "  synthesize (%d sinks): seq %.2f s, par %.2f s (%.2fx, identical=%b)\n%!"
     n_sinks t_syn_seq t_syn_par (t_syn_seq /. t_syn_par) syn_identical;
+  (* Both trees — not just one — must pass the full invariant checker:
+     bit-identical broken trees would still satisfy the equality
+     cross-check above. *)
+  let cfg = Cts_config.default dl in
+  let violations =
+    Cts.verify_tree dl cfg res_seq.Cts.tree
+    @ Cts.verify_tree dl cfg res_par.Cts.tree
+  in
+  let checked = violations = [] in
+  Printf.printf "  invariant check (both trees): %s\n%!"
+    (if checked then "clean" else "VIOLATIONS");
+  List.iter
+    (fun v -> Printf.printf "    %s\n%!" (Ctree_check.to_string v))
+    violations;
   Parallel.shutdown p1;
   Parallel.shutdown p4;
   let oc = open_out out_file in
@@ -66,4 +80,8 @@ let run ~profile () =
   if not (char_identical && syn_identical) then begin
     print_endline "  DETERMINISM VIOLATION: parallel run differs from sequential";
     exit 4
+  end;
+  if not checked then begin
+    print_endline "  INVARIANT VIOLATION: synthesized tree fails Ctree_check";
+    exit 5
   end

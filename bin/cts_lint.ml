@@ -1,0 +1,30 @@
+(* Determinism / domain-safety lint driver.
+
+   Usage: cts_lint [DIR-OR-FILE ...]   (default: lib bin)
+
+   Exits 1 if any diagnostic is reported, 0 otherwise. Run from the
+   repository root so that rule scoping by relative path (lib/cts_core,
+   lib/report, ...) applies. *)
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ -> [ "lib"; "bin" ]
+  in
+  let files = Lint.scan (List.filter Sys.file_exists args) in
+  if files = [] then begin
+    Printf.eprintf "cts_lint: nothing to lint under: %s\n"
+      (String.concat " " args);
+    exit 2
+  end;
+  let diags = Lint.lint_paths files in
+  List.iter (fun d -> print_endline (Lint.to_string d)) diags;
+  match diags with
+  | [] ->
+      Printf.printf "cts_lint: %d files clean\n"
+        (List.length
+           (List.filter (fun f -> Filename.check_suffix f ".ml") files))
+  | _ ->
+      Printf.eprintf "cts_lint: %d diagnostic(s)\n" (List.length diags);
+      exit 1

@@ -9,7 +9,9 @@
     - [<x> <y> <cap>] — an anonymous sink (named [pN] by position).
 
     Coordinates are micrometres, capacitance farads. The writer emits the
-    named form with a [NumPins] header, so write/parse round-trips. *)
+    named form with a [NumPins] header, so write/parse round-trips. 
+
+    Domain-safety: parsing and writing use call-local buffers only; all entry points are safe to call concurrently from multiple domains. *)
 
 type metadata = { unit_res : float option; unit_cap : float option }
 

@@ -16,7 +16,9 @@
     die <xmin> <ymin> <xmax> <ymax>
     v}
 
-    Only the sink section is mandatory. Unknown sections raise. *)
+    Only the sink section is mandatory. Unknown sections raise. 
+
+    Domain-safety: parsing and writing use call-local buffers only; all entry points are safe to call concurrently from multiple domains. *)
 
 type t = {
   sinks : Sinks.spec list;

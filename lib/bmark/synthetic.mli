@@ -9,7 +9,9 @@
     every binary sees the identical instance.
 
     Real benchmark files drop in unchanged through {!Gsrc_format} /
-    {!Ispd_format}. *)
+    {!Ispd_format}. 
+
+    Domain-safety: each generation call owns a freshly seeded Rng state; no state is shared between calls or domains. *)
 
 type descriptor = {
   name : string;

@@ -4,7 +4,9 @@
     remain checkable against an external simulator. The deck uses
     behavioural `.subckt` buffers matching the two-inverter alpha-power
     devices of {!Device}, distributed-RC wires, and `.measure` statements
-    for slew and delay at every sink. *)
+    for slew and delay at every sink. 
+
+    Domain-safety: deck emission appends to a caller-provided or call-local Buffer; no shared mutable state. *)
 
 val header : Tech.t -> string
 (** Deck prologue: title, supply, model cards and buffer subcircuits for

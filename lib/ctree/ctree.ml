@@ -12,7 +12,7 @@ and edge = { length : float; route : Point.t list; child : t }
    ids are therefore unique but schedule-dependent; Cts renumbers the
    finished tree canonically (see [renumber]) before returning it. *)
 let id_counter = Atomic.make 0
-let fresh_id () = 1 + Atomic.fetch_and_add id_counter 1
+let[@cts.guarded "atomic"] fresh_id () = 1 + Atomic.fetch_and_add id_counter 1
 
 let sink ~name ~pos ~cap =
   { id = fresh_id (); kind = Sink { name; cap }; pos; children = [] }

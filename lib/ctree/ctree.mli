@@ -7,7 +7,14 @@
 
     Edge lengths record the {e routed} wirelength, which may exceed the
     Manhattan distance between the endpoints when the router snaked wire
-    to balance delays. *)
+    to balance delays.
+
+    Domain-safety: trees are immutable; the only shared state is the
+    process-wide node-id counter behind the constructors, which is
+    atomic. Raw ids are therefore unique but schedule-dependent —
+    {!renumber} (applied by synthesis before returning any tree)
+    restores canonical preorder ids independent of which domain built
+    each node. *)
 
 type kind =
   | Sink of { name : string; cap : float }

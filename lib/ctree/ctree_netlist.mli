@@ -2,7 +2,9 @@
 
     Produces a self-contained deck (source, buffer subcircuits, pi-model
     wires, sink loads, per-sink delay/slew `.measure` cards) so that
-    results can be double-checked in an external SPICE. *)
+    results can be double-checked in an external SPICE. 
+
+    Domain-safety: deck emission uses call-local buffers; trees are read-only here. Safe from any domain. *)
 
 val to_deck :
   ?source_slew:float -> ?t_stop:float -> Circuit.Tech.t -> Ctree.t -> string

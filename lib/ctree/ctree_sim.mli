@@ -8,7 +8,9 @@
     buffer's stage.
 
     The tree root must be a buffer ({!Ctree.Buf}) — the clock-source
-    driver. *)
+    driver. 
+
+    Domain-safety: simulation state (waveforms, node arrays) is allocated per call; trees are read-only here. Safe from any domain. *)
 
 type metrics = {
   latency : float;  (** Max source-to-sink 50%-50% delay (s). *)

@@ -3,7 +3,9 @@
     Wires are drawn as horizontal-then-vertical staircases between node
     positions, sinks as circles, buffers as squares (colored by drive
     strength), and the root driver as a ring. Useful for eyeballing
-    topology quality, detours and buffer placement. *)
+    topology quality, detours and buffer placement. 
+
+    Domain-safety: rendering uses a call-local Buffer; trees are read-only here. Safe from any domain. *)
 
 val render :
   ?width_px:int -> ?blockages:Geometry.Bbox.t list -> Ctree.t -> string

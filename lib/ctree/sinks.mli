@@ -1,4 +1,6 @@
-(** Clock sink specifications — the input to every synthesis algorithm. *)
+(** Clock sink specifications — the input to every synthesis algorithm. 
+
+    Domain-safety: specs are immutable; helper routines use call-local scratch only. *)
 
 type spec = { name : string; pos : Geometry.Point.t; cap : float }
 

@@ -4,6 +4,7 @@ module Bbox = Geometry.Bbox
 type t = Bbox.t list
 
 let empty = []
+let is_empty = function [] -> true | _ :: _ -> false
 let legal blocks p = not (List.exists (fun b -> Bbox.contains b p) blocks)
 
 let step = 2.

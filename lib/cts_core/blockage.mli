@@ -3,11 +3,18 @@
     Following the ISPD 2009 contest rules the paper's benchmarks come
     from: routing wires may cross a blockage, but buffers may not be
     placed inside one. Merge-routing consults this module when planting
-    buffers along paths and on merge nodes. *)
+    buffers along paths and on merge nodes. 
+
+    Domain-safety: blockage lists are immutable; path search uses call-local accumulators only. Safe from any domain. *)
 
 type t = Geometry.Bbox.t list
 
 val empty : t
+
+val is_empty : t -> bool
+(** Structural emptiness test. Prefer this over [(=) empty]: blockage
+    boxes are float rectangles, and polymorphic equality over floats is
+    exactly what the lint's L4 rule exists to keep out of this layer. *)
 
 val legal : t -> Geometry.Point.t -> bool
 (** No blockage contains the point. *)

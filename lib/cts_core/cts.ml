@@ -40,9 +40,13 @@ type entry =
 
 type scratch = { st : state; mutable log : entry list (* newest first *) }
 
-let record sc e = sc.log <- e :: sc.log
+(* Replay-log discipline: pool tasks never touch [state] directly; they
+   append to a task-private [scratch] log which the coordinator replays
+   in canonical pair order (see [apply_entries]). *)
+let[@cts.guarded "replay-log"] record sc e = sc.log <- e :: sc.log
 
-let apply_entries st entries =
+(* Runs on the coordinating domain only, after the parallel section. *)
+let[@cts.guarded "replay-log"] apply_entries st entries =
   List.iter
     (function
       | Child (id, pair) -> Hashtbl.replace st.children id pair
@@ -93,11 +97,16 @@ let hstructure sc a b =
       let original = Float.max (cost a1 a2) (cost b1 b2) in
       let swap1 = Float.max (cost a1 b1) (cost a2 b2) in
       let swap2 = Float.max (cost a1 b2) (cost a2 b1) in
-      if swap1 < original && swap1 <= swap2 then begin
+      (* "Strictly better" must mean better beyond rounding noise:
+         symmetric sink placements yield mathematically equal pairing
+         costs that differ by an ulp depending on evaluation order, and
+         a raw [<] would flip (and reroute) on such phantom wins. *)
+      let ( <! ) x y = Numerics.Float_cmp.definitely_lt x y in
+      if swap1 <! original && not (swap2 <! swap1) then begin
         record sc Flip;
         (do_merge sc ~commit:true a1 b1, do_merge sc ~commit:true a2 b2)
       end
-      else if swap2 < original then begin
+      else if swap2 <! original then begin
         record sc Flip;
         (do_merge sc ~commit:true a1 b2, do_merge sc ~commit:true a2 b1)
       end
@@ -116,11 +125,19 @@ let hstructure sc a b =
       let original = skew_of a b in
       let swap1 = skew_of m_11 m_22 in
       let swap2 = skew_of m_12 m_21 in
-      if swap1 < original && swap1 <= swap2 then begin
+      (* Skews of symmetric pairings are mathematically equal (often
+         exactly zero) but land at different residual magnitudes, so a
+         relative test alone is not enough: 9e-15 vs 9e-16 seconds is a
+         10x "improvement" that means nothing. The residuals are set by
+         the balancer's quantization (0.5 um buffer steps, 1e-3 um
+         snaking bisection), which is well below 0.1 ps of skew — so
+         differences under that floor are estimator noise, not wins. *)
+      let ( <! ) x y = Numerics.Float_cmp.definitely_lt ~abs:1e-13 x y in
+      if swap1 <! original && not (swap2 <! swap1) then begin
         record sc Flip;
         (m_11, m_22)
       end
-      else if swap2 < original then begin
+      else if swap2 <! original then begin
         record sc Flip;
         (m_12, m_21)
       end
@@ -171,7 +188,66 @@ let leaf_port (cfg : Cts_config.t) (s : Sinks.spec) =
   in
   Port.of_sink ~offset s
 
-let synthesize_bisection ?config ?(blockages = Blockage.empty) ?pool dl specs =
+(* ------------------------------------------------------------------ *)
+(* Invariant checking (Ctree_check glue)                               *)
+
+let check_env ?(source_slew = 60e-12) dl (cfg : Cts_config.t) =
+  (* Trusted input-slew range: [Delaylib.eval_single] clamps into the
+     characterized fit domain, so an edge faster than [lo] is evaluated
+     at [lo] — a pessimistic, therefore safe, saturation. Above [hi]
+     the same clamp would under-report delay and slew, so the top of
+     the fit domain is a hard bound. *)
+  let _, hi = Delaylib.slew_domain dl in
+  {
+    Ctree_check.stage =
+      (fun ~drive ~input_slew root ->
+        Timing.analyze_stage dl cfg ~drive ~input_slew root);
+    default_driver = cfg.Cts_config.assumed_driver;
+    slew_limit = cfg.Cts_config.slew_limit;
+    slew_range = (0., hi);
+    source_slew;
+  }
+
+let verify_tree ?(source_slew = 60e-12) dl (cfg : Cts_config.t) tree =
+  let env = check_env ~source_slew dl cfg in
+  let report = Timing.analyze_tree dl cfg ~source_slew tree in
+  (* The reference reports arrivals net of prescribed offsets; the
+     checker accumulates absolute latencies, so add them back. *)
+  let offset name =
+    Option.value ~default:0. (List.assoc_opt name cfg.Cts_config.sink_offsets)
+  in
+  let expected =
+    List.map (fun (n, d) -> (n, d +. offset n)) report.Timing.sink_delays
+  in
+  Ctree_check.verify ~expected_latencies:expected env tree
+
+(* Per-level check: every merged subtree must already satisfy the
+   structural and electrical invariants. Ids are only canonicalized by
+   [finalize], and stages below a merge root are driven at the target
+   slew the construction assumed. *)
+let check_level dl (cfg : Cts_config.t) ports =
+  let env = check_env ~source_slew:cfg.Cts_config.slew_target dl cfg in
+  let violations =
+    List.concat_map
+      (fun (p : Port.t) ->
+        match p.Port.node.Ctree.kind with
+        | Ctree.Sink _ -> []
+        | Ctree.Merge | Ctree.Buf _ ->
+            Ctree_check.structure ~canonical_ids:false p.Port.node
+            @ fst (Ctree_check.timing env p.Port.node))
+      ports
+  in
+  match violations with
+  | [] -> ()
+  | vs -> raise (Ctree_check.Check_failed vs)
+
+let check_final dl cfg res =
+  match verify_tree dl cfg res.tree with
+  | [] -> ()
+  | vs -> raise (Ctree_check.Check_failed vs)
+
+let synthesize_bisection ?config ?(blockages = Blockage.empty) ?pool
+    ?(check = false) dl specs =
   (match Sinks.validate specs with
   | [] -> ()
   | errs ->
@@ -218,9 +294,12 @@ let synthesize_bisection ?config ?(blockages = Blockage.empty) ?pool dl specs =
   in
   let root_port, depth, log = go specs 0 in
   apply_entries st log;
-  finalize dl cfg st root_port ~levels:depth
+  let res = finalize dl cfg st root_port ~levels:depth in
+  if check then check_final dl cfg res;
+  res
 
-let synthesize ?config ?(blockages = Blockage.empty) ?pool dl specs =
+let synthesize ?config ?(blockages = Blockage.empty) ?pool ?(check = false) dl
+    specs =
   (match Sinks.validate specs with
   | [] -> ()
   | errs -> invalid_arg ("Cts.synthesize: " ^ String.concat "; " errs));
@@ -265,7 +344,10 @@ let synthesize ?config ?(blockages = Blockage.empty) ?pool dl specs =
     Log.debug (fun m ->
         m "level %d: %d -> %d subtrees" !levels (Array.length items)
           (List.length !next));
-    ports := List.rev !next
+    ports := List.rev !next;
+    if check then check_level dl cfg !ports
   done;
   let root_port = match !ports with [ p ] -> p | _ -> assert false in
-  finalize dl cfg st root_port ~levels:!levels
+  let res = finalize dl cfg st root_port ~levels:!levels in
+  if check then check_final dl cfg res;
+  res

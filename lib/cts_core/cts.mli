@@ -5,7 +5,13 @@
     ({!Merge_routing}) level by level until a single subtree remains; a
     root driver buffer is then planted at the clock source. Optional
     H-structure re-estimation/correction (Sec. 4.1.2) re-pairs the four
-    grandchildren of each level's sibling merges. *)
+    grandchildren of each level's sibling merges.
+
+    Domain-safety: per-pair merge tasks run on a {!Parallel} pool but
+    never write the shared level state directly — each task appends to
+    a task-private replay log, and the coordinating domain replays the
+    logs in canonical pair order after the parallel section. Results
+    are bit-identical for any pool size. *)
 
 type result = {
   tree : Ctree.t;  (** Root is the source driver buffer. *)
@@ -20,11 +26,18 @@ type result = {
 
 val synthesize :
   ?config:Cts_config.t -> ?blockages:Blockage.t -> ?pool:Parallel.t ->
-  Delaylib.t -> Sinks.spec list -> result
+  ?check:bool -> Delaylib.t -> Sinks.spec list -> result
 (** Synthesize a buffered clock tree over the given sinks. The default
     configuration is {!Cts_config.default} on the delay library.
     [blockages] are macro regions buffers must avoid (wires may cross
     them). Raises [Invalid_argument] on an empty or invalid sink list.
+
+    [check] (default [false]; tests turn it on) runs the
+    {!Ctree_check} invariant verifier on every subtree after each
+    merge level and on the finished tree, raising
+    [Ctree_check.Check_failed] at the first violating level — so a
+    broken invariant is caught where it was introduced, not at the
+    root.
 
     [pool] (default {!Parallel.default_pool}) runs each level's
     independent merge-routing pairs concurrently. {b Determinism}: merge
@@ -35,7 +48,7 @@ val synthesize :
 
 val synthesize_bisection :
   ?config:Cts_config.t -> ?blockages:Blockage.t -> ?pool:Parallel.t ->
-  Delaylib.t -> Sinks.spec list -> result
+  ?check:bool -> Delaylib.t -> Sinks.spec list -> result
 (** Fixed-topology variant (the paper's complexity analysis notes the
     flow drops to O(n l^2) when the topology is given): the merge order
     comes from recursive median bisection of the sink set along the
@@ -46,4 +59,24 @@ val synthesize_bisection :
 
     [pool] parallelizes the recursion near the root (left and right
     subtrees fork onto the pool); the same log-replay scheme as
-    {!synthesize} keeps the result bit-identical to a sequential run. *)
+    {!synthesize} keeps the result bit-identical to a sequential run.
+    [check] verifies the finished tree as in {!synthesize}. *)
+
+val check_env : ?source_slew:float -> Delaylib.t -> Cts_config.t ->
+  Ctree_check.env
+(** The {!Ctree_check} timing environment for this library and
+    configuration: stages are analyzed by {!Timing.analyze_stage}, the
+    default driver and slew limit come from the configuration, and the
+    trusted buffer input-slew range is [(0, hi)] where [hi] is the top
+    of [Delaylib.slew_domain] — the library clamps faster-than-
+    characterized edges pessimistically, so only the slow side of the
+    fit domain is a hard bound. [source_slew] defaults to the 60 ps of
+    [Timing.analyze_tree]. *)
+
+val verify_tree : ?source_slew:float -> Delaylib.t -> Cts_config.t ->
+  Ctree.t -> Ctree_check.violation list
+(** Full post-synthesis verification of a finished tree: structural
+    invariants, canonical preorder ids, per-stage slews, buffer
+    input-slew ranges, and the checker's independently accumulated sink
+    latencies compared against {!Timing.analyze_tree} (prescribed sink
+    offsets added back) within 1 ps. Empty list = clean. *)

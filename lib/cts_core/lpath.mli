@@ -4,7 +4,9 @@
     placement blockages force a detour, paths run through intermediate
     waypoints (each consecutive waypoint pair is joined by an
     axis-aligned staircase). Buffers planted "at distance d along the
-    path" need the corresponding planar point. *)
+    path" need the corresponding planar point. 
+
+    Domain-safety: paths are immutable values; construction uses call-local scratch only. *)
 
 type t
 

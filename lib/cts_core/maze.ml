@@ -46,16 +46,18 @@ let select dl (cfg : Cts_config.t) (p1 : Port.t) (p2 : Port.t) =
   in
   (* Memoize run evaluations per side: they depend only on the path
      length, which is heavily shared between bins. Quantize to 0.1 um. *)
-  let cache1 = Hashtbl.create 256 and cache2 = Hashtbl.create 256 in
-  let eval_side cache port d =
-    let key = int_of_float (d *. 10.) in
-    match Hashtbl.find_opt cache key with
-    | Some e -> e
-    | None ->
-        let e = Run.eval dl cfg port d in
-        Hashtbl.replace cache key e;
-        e
+  let eval_side port =
+    let cache = Hashtbl.create 256 in
+    fun d ->
+      let key = int_of_float (d *. 10.) in
+      match Hashtbl.find_opt cache key with
+      | Some e -> e
+      | None ->
+          let e = Run.eval dl cfg port d in
+          Hashtbl.replace cache key e;
+          e
   in
+  let eval1 = eval_side p1 and eval2 = eval_side p2 in
   let best = ref None in
   let consider (c : choice) =
     let better =
@@ -79,7 +81,7 @@ let select dl (cfg : Cts_config.t) (p1 : Port.t) (p2 : Port.t) =
         and d2 = Point.manhattan pos2 center in
         let is_direct = d1 +. d2 <= direct +. (2. *. margin) in
         if (not detour_only) = is_direct then begin
-          let e1 = eval_side cache1 p1 d1 and e2 = eval_side cache2 p2 d2 in
+          let e1 = eval1 d1 and e2 = eval2 d2 in
           let t1 = side_delay dl cfg e1 e1.Run.top_free in
           let t2 = side_delay dl cfg e2 e2.Run.top_free in
           consider

@@ -6,7 +6,9 @@
     from {e both} roots simultaneously: every bin carries the
     slew-legalized propagation state ({!Run.eval}) toward each root, and
     the bin with minimum delay difference — tie-broken by total
-    wirelength — is picked as the tentative merge location. *)
+    wirelength — is picked as the tentative merge location. 
+
+    Domain-safety: per-select memo caches are closure-captured and private to one evaluation; nothing is shared across tasks or domains. *)
 
 type choice = {
   bin_center : Geometry.Point.t;

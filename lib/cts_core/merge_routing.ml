@@ -201,7 +201,7 @@ let merge ?(blockages = Blockage.empty) dl (cfg : Cts_config.t) p1 p2 =
   let path1 = Blockage.best_path blockages (Port.pos p1) choice.Maze.bin_center in
   let path2 = Blockage.best_path blockages (Port.pos p2) choice.Maze.bin_center in
   let e1, e2 =
-    if blockages = Blockage.empty then (choice.Maze.eval1, choice.Maze.eval2)
+    if Blockage.is_empty blockages then (choice.Maze.eval1, choice.Maze.eval2)
     else
       (* Detoured paths may be longer than the maze's Manhattan estimate;
          re-evaluate with the real path lengths and legalized placement. *)

@@ -11,7 +11,9 @@
     3. {b Binary search}: the merge point [M] slides along the segment
        between the two paths' last fixed nodes, driven by delay-library
        timing analysis, until the residual difference converges
-       (Sec. 4.2.3, Fig. 4.5). *)
+       (Sec. 4.2.3, Fig. 4.5). 
+
+    Domain-safety: merge evaluation mutates only call-local scratch (side tables, accumulators); returned stats are applied to shared counters by the coordinator, never here. *)
 
 type stats = {
   snaked : float;  (** Wire length added by the balance stage (um). *)

@@ -20,7 +20,7 @@ type eval = {
 let span_cache : (string * float * float, float) Hashtbl.t = Hashtbl.create 64
 let span_mutex = Mutex.create ()
 
-let span dl (cfg : Cts_config.t) ~drive ~load_cap =
+let[@cts.guarded "mutex"] span dl (cfg : Cts_config.t) ~drive ~load_cap =
   let class_cap = Delaylib.load_class_cap dl load_cap in
   let key = (drive.Buffer_lib.name, class_cap, cfg.slew_target) in
   Mutex.lock span_mutex;

@@ -36,7 +36,7 @@ val span :
     class while meeting the slew target under the target input-slew
     assumption.
 
-    {b Domain safety}: the memo table is mutex-guarded and may be hit
+    Domain-safety: the memo table is mutex-guarded and may be hit
     from every domain of the synthesis pool concurrently. Cached values
     are a pure function of the key, so which domain fills an entry never
     changes any result — the parallel flow stays bit-identical to the

@@ -10,7 +10,9 @@
     This is the "accurate timing analysis engine" the paper credits for
     keeping skew low under aggressive insertion: it drives the
     binary-search stage of merge-routing and produces the per-subtree
-    delay/skew summaries the top level balances. *)
+    delay/skew summaries the top level balances. 
+
+    Domain-safety: analysis walks use a call-local work queue and accumulators; trees and the delay library are read-only here. Safe from any domain. *)
 
 type report = {
   sink_delays : (string * float) list;
@@ -38,6 +40,16 @@ val analyze_driven :
 val analyze_tree :
   Delaylib.t -> Cts_config.t -> ?source_slew:float -> Ctree.t -> report
 (** Analyze a complete tree whose root is the source driver buffer. *)
+
+val analyze_stage :
+  Delaylib.t -> Cts_config.t -> drive:Circuit.Buffer_lib.t ->
+  input_slew:float -> Ctree.t -> (Ctree.t * float * float) list
+(** Endpoints [(node, delay, slew)] of the single buffer stage rooted at
+    the given region: each first buffer or sink below the root, with its
+    delay from the driver input and the slew presented at it. This is
+    the primitive {!analyze_driven} iterates — exported so the
+    {!Ctree_check} environment ({!Cts.check_env}) can walk stages with
+    exactly the analyzer's numbers. *)
 
 val stage_worst_slew :
   Delaylib.t -> Cts_config.t -> drive:Circuit.Buffer_lib.t ->

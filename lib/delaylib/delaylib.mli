@@ -18,7 +18,9 @@
     Load classes quantize load capacitance. Components ending in a sink
     are looked up through the class nearest the sink's capacitance,
     mirroring the paper's "approximate by a buffer of similar load
-    capacitance". *)
+    capacitance". 
+
+    Domain-safety: characterization distributes independent fitting jobs over a domain pool with task-local accumulation; the resulting library value is immutable and safe for unsynchronized concurrent reads. *)
 
 module Wave_gen = Wave_gen
 (** Re-exported: characterization input waveform generation. *)

@@ -7,7 +7,9 @@
     input slew. This module reproduces that scheme: it bisects the input
     wire length until the waveform arriving at the measured gate has the
     requested 10%-90% slew, and returns that waveform (time-shifted to
-    start at 0). *)
+    start at 0). 
+
+    Domain-safety: waveform construction uses call-local arrays only. *)
 
 val buffer_output_wave :
   ?tol:float -> Circuit.Tech.t -> Circuit.Buffer_lib.t -> slew:float ->

@@ -7,7 +7,9 @@
     - {!synthesize}: unbuffered zero-skew tree (Chao/Tsay/Edahiro);
     - {!synthesize_buffered}: buffers inserted {e only at merge nodes}
       sized by downstream capacitance — the restriction of prior work
-      ([6, 8, 16]) that the paper's aggressive insertion removes. *)
+      ([6, 8, 16]) that the paper's aggressive insertion removes. 
+
+    Domain-safety: the baseline synthesizer is sequential; all mutable state is call-local. *)
 
 val synthesize :
   ?beta:float -> Circuit.Tech.t -> Sinks.spec list -> Ctree.t

@@ -8,7 +8,9 @@
     The tree is driven by an ideal voltage source at its root, optionally
     behind a source resistance. With [h] the impulse response at a node,
     the circuit moments [m_j] satisfy [H(s) = sum_j m_j s^j]; probability
-    moments are [mu_1 = -m_1] (the Elmore delay) and [mu_2 = 2 m_2]. *)
+    moments are [mu_1 = -m_1] (the Elmore delay) and [mu_2 = 2 m_2]. 
+
+    Domain-safety: moment computation uses call-local arrays only. *)
 
 type t
 (** Moments of every node of an analyzed tree. *)

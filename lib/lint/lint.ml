@@ -1,0 +1,715 @@
+(* Determinism / domain-safety lint. See lint.mli for the rule set.
+
+   The analysis is purely syntactic (compiler-libs parsetree, no
+   typing). Its one non-local part is rule L1: a module-level
+   call-graph approximation. Each top-level definition is walked once,
+   recording (a) mutation primitives applied to targets that are not
+   provably task-local and (b) references that may resolve to other
+   top-level definitions. Call sites of [Parallel.map]/[Parallel.iter]
+   re-walk their function arguments into separate "root" records; L1
+   then reports every unguarded shared mutation reachable from a root
+   through the recorded edges.
+
+   Locality: a target is task-local when its head identifier is
+   let-bound in scope to a syntactically fresh mutable allocation
+   ([ref e], [Hashtbl.create], a record or array literal, ...).
+   Parameters and module-level names are conservatively shared:
+   writing through them from a pool task needs a [@cts.guarded]
+   mechanism annotation. *)
+
+open Parsetree
+
+type diagnostic = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+(* ------------------------------------------------------------------ *)
+(* Paths and rule scopes                                               *)
+
+let norm path =
+  if String.length path >= 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let has_suffix suf s =
+  let ls = String.length s and l = String.length suf in
+  ls >= l && String.sub s (ls - l) l = suf
+
+let module_name_of path =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename path))
+
+let l2_exempt path =
+  has_suffix "lib/util/rng.ml" path
+  || has_suffix "lib/bmark/synthetic.ml" path
+  || path = "rng.ml" || path = "synthetic.ml"
+
+let l3_in_scope path =
+  has_prefix "lib/" path
+  && (not (has_prefix "lib/report/" path))
+  && not (has_prefix "lib/bench/" path)
+
+let l4_in_scope path =
+  has_prefix "lib/cts_core/" path
+  || has_prefix "lib/dme/" path
+  || has_prefix "lib/numerics/" path
+
+let l5_in_scope path = has_prefix "lib/" path
+
+(* ------------------------------------------------------------------ *)
+(* Primitive tables                                                    *)
+
+(* Write primitives: resolved head name -> index of the mutated
+   positional argument. *)
+let write_prims =
+  [
+    (":=", 0); ("incr", 0); ("decr", 0);
+    ("Hashtbl.replace", 0); ("Hashtbl.add", 0); ("Hashtbl.remove", 0);
+    ("Hashtbl.reset", 0); ("Hashtbl.clear", 0);
+    ("Hashtbl.filter_map_inplace", 1);
+    ("Array.set", 0); ("Array.unsafe_set", 0); ("Array.fill", 0);
+    ("Array.blit", 2); ("Array.sort", 1); ("Array.fast_sort", 1);
+    ("Array.stable_sort", 1);
+    ("Bytes.set", 0); ("Bytes.unsafe_set", 0); ("Bytes.fill", 0);
+    ("Bytes.blit", 2);
+    ("Buffer.add_string", 0); ("Buffer.add_char", 0);
+    ("Buffer.add_bytes", 0); ("Buffer.add_buffer", 0);
+    ("Buffer.add_substring", 0); ("Buffer.add_subbytes", 0);
+    ("Buffer.clear", 0); ("Buffer.reset", 0); ("Buffer.truncate", 0);
+    ("Queue.add", 1); ("Queue.push", 1); ("Queue.pop", 0);
+    ("Queue.take", 0); ("Queue.clear", 0); ("Queue.transfer", 0);
+    ("Stack.push", 1); ("Stack.pop", 0); ("Stack.clear", 0);
+    ("Atomic.set", 0); ("Atomic.exchange", 0); ("Atomic.compare_and_set", 0);
+    ("Atomic.fetch_and_add", 0); ("Atomic.incr", 0); ("Atomic.decr", 0);
+  ]
+
+(* Allocators whose result is fresh mutable state: a let-bound name
+   holding one of these is task-local. *)
+let fresh_allocs =
+  [
+    "ref"; "Hashtbl.create"; "Hashtbl.copy"; "Queue.create"; "Queue.copy";
+    "Buffer.create"; "Stack.create"; "Atomic.make"; "Mutex.create";
+    "Condition.create"; "Array.make"; "Array.init"; "Array.create_float";
+    "Array.of_list"; "Array.copy"; "Array.make_matrix"; "Array.append";
+    "Array.concat"; "Array.sub"; "Array.map"; "Array.mapi"; "Bytes.create";
+    "Bytes.make"; "Bytes.copy"; "Bytes.of_string";
+  ]
+
+(* Allocators that make a module stateful for rule L5 (deliberately
+   narrower: a local [Array.of_list] scratchpad is not "module holds
+   mutable state", but any ref cell, table, queue or lock is). *)
+let l5_allocs =
+  [
+    "ref"; "Hashtbl.create"; "Queue.create"; "Buffer.create";
+    "Stack.create"; "Atomic.make"; "Mutex.create"; "Condition.create";
+  ]
+
+let mechanisms = [ "replay-log"; "mutex"; "atomic" ]
+
+let wallclock = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let float_ops =
+  [
+    "+."; "-."; "*."; "/."; "**"; "~-."; "sqrt"; "exp"; "log"; "log10";
+    "atan"; "atan2"; "cos"; "sin"; "abs_float"; "float_of_int";
+    "float_of_string"; "Float.abs"; "Float.max"; "Float.min"; "Float.neg";
+    "Float.add"; "Float.sub"; "Float.mul"; "Float.div"; "Float.rem";
+    "Float.pow"; "Float.sqrt"; "Float.exp"; "Float.log"; "Float.of_int";
+    "Float.of_string"; "Float.round"; "Float.ceil"; "Float.floor";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Analysis state                                                      *)
+
+type mut = { prim : string; mloc : Location.t; mguard : string option }
+
+type info = {
+  i_file : string;
+  i_mod : string;
+  mutable i_muts : mut list;  (* shared-target mutations only *)
+  mutable i_calls : (string * string) list;
+      (* ("", n): top-level [n] of the same module; (m, n): value [n]
+         of module [m] (aliases already resolved). *)
+}
+
+type fctx = {
+  f_path : string;
+  f_mod : string;
+  f_aliases : (string, string) Hashtbl.t;
+  mutable f_mutable : bool;  (* L5 indicator *)
+}
+
+type global = {
+  defs : (string * string, info) Hashtbl.t;
+  mutable roots : info list;
+  mutable files : fctx list;
+  mutable diags : diagnostic list;
+}
+
+type ctx = {
+  glob : global;
+  fc : fctx;
+  info : info;
+  defname : string;  (* top-level definition being walked *)
+  in_root : bool;
+}
+
+let diag ctx rule (loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  ctx.glob.diags <-
+    {
+      rule;
+      file = ctx.fc.f_path;
+      line = p.Lexing.pos_lnum;
+      col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+      message;
+    }
+    :: ctx.glob.diags
+
+let get_def glob key file modname =
+  match Hashtbl.find_opt glob.defs key with
+  | Some i -> i
+  | None ->
+      let i = { i_file = file; i_mod = modname; i_muts = []; i_calls = [] } in
+      Hashtbl.replace glob.defs key i;
+      i
+
+(* ------------------------------------------------------------------ *)
+(* Environment: locally-bound names                                    *)
+
+module Env = Map.Make (String)
+
+type kind = KFresh | KFn | KPlain
+
+let pattern_vars p =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+              acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.pat it p;
+  !acc
+
+let bind_plain env p =
+  List.fold_left (fun e v -> Env.add v KPlain e) env (pattern_vars p)
+
+(* ------------------------------------------------------------------ *)
+(* Syntactic helpers                                                   *)
+
+let dotted segs =
+  match List.rev segs with
+  | [] -> ""
+  | [ x ] -> x
+  | x :: m :: _ -> m ^ "." ^ x
+
+let apply_head e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (Longident.flatten txt)
+  | _ -> None
+
+let rec head_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> Some x
+  | Pexp_field (e', _) -> head_ident e'
+  | Pexp_constraint (e', _) -> head_ident e'
+  | _ -> None
+
+let rec is_floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply (f, _) -> (
+      match apply_head f with
+      | Some segs -> List.mem (dotted segs) float_ops
+      | None -> false)
+  | Pexp_constraint (e', t) -> (
+      match t.ptyp_desc with
+      | Ptyp_constr ({ txt = Longident.Lident "float"; _ }, _) -> true
+      | _ -> is_floatish e')
+  | Pexp_ifthenelse (_, a, Some b) -> is_floatish a || is_floatish b
+  | _ -> false
+
+let rec kind_of_rhs e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> KFn
+  | Pexp_record _ | Pexp_array _ -> KFresh
+  | Pexp_apply (f, _) -> (
+      match apply_head f with
+      | Some segs when List.mem (dotted segs) fresh_allocs -> KFresh
+      | _ -> KPlain)
+  | Pexp_constraint (e', _) -> kind_of_rhs e'
+  | Pexp_lazy e' -> kind_of_rhs e'
+  | _ -> KPlain
+
+(* ------------------------------------------------------------------ *)
+(* Attributes                                                          *)
+
+type guards = { guard : string option; feq : bool }
+
+let no_guards = { guard = None; feq = false }
+
+let string_payload = function
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let guards_of_attrs ctx g attrs =
+  List.fold_left
+    (fun g (a : attribute) ->
+      match a.attr_name.Location.txt with
+      | "cts.guarded" -> (
+          match string_payload a.attr_payload with
+          | Some m when List.mem m mechanisms -> { g with guard = Some m }
+          | Some _ | None ->
+              diag ctx "L1" a.attr_loc
+                "[@cts.guarded] must name its mechanism: \"replay-log\", \
+                 \"mutex\" or \"atomic\"";
+              g)
+      | "cts.float_eq_ok" -> { g with feq = true }
+      | _ -> g)
+    g attrs
+
+(* ------------------------------------------------------------------ *)
+(* Reference notes: call edges + L2/L3                                 *)
+
+let resolve_alias fc m =
+  match Hashtbl.find_opt fc.f_aliases m with Some t -> t | None -> m
+
+let add_call ctx edge =
+  if not (List.mem edge ctx.info.i_calls) then
+    ctx.info.i_calls <- edge :: ctx.info.i_calls
+
+let note_ref ctx env (lid : Longident.t) loc =
+  let segs = Longident.flatten lid in
+  (match segs with
+  | [ x ] -> (
+      match Env.find_opt x env with
+      | Some KFn ->
+          (* Reference to a local function from inside a pool-task
+             lambda: its body was analyzed as part of the enclosing
+             top-level definition, so link the root to that whole
+             definition (conservative). *)
+          if ctx.in_root then add_call ctx ("", ctx.defname)
+      | Some (KFresh | KPlain) -> ()
+      | None -> add_call ctx ("", x))
+  | _ :: _ :: _ ->
+      let rec split acc = function
+        | [ last ] -> (List.rev acc, last)
+        | x :: tl -> split (x :: acc) tl
+        | [] -> assert false
+      in
+      let mods, name = split [] segs in
+      (* L2: any Random/Rng module segment. *)
+      if
+        List.exists (fun m -> m = "Random" || m = "Rng") mods
+        && not (l2_exempt ctx.fc.f_path)
+      then
+        diag ctx "L2" loc
+          (Printf.sprintf
+             "%s: randomness outside lib/util/rng.ml and \
+              lib/bmark/synthetic.ml breaks determinism"
+             (String.concat "." segs));
+      (* L3: wall-clock in lib/ outside report/bench. *)
+      let d = dotted segs in
+      if List.mem d wallclock && l3_in_scope ctx.fc.f_path then
+        diag ctx "L3" loc
+          (Printf.sprintf
+             "wall-clock call %s in lib/ (allowed only under lib/report \
+              and lib/bench)"
+             d);
+      let m = resolve_alias ctx.fc (List.nth mods (List.length mods - 1)) in
+      add_call ctx (m, name)
+  | [] -> ())
+
+(* ------------------------------------------------------------------ *)
+(* The walker                                                          *)
+
+let nolabel_args args =
+  List.filter_map
+    (fun (lbl, e) -> match lbl with Asttypes.Nolabel -> Some e | _ -> None)
+    args
+
+let record_mut ctx env g prim (target : expression option) loc =
+  ctx.fc.f_mutable <- true;
+  let local =
+    match target with
+    | Some t -> (
+        match head_ident t with
+        | Some x -> Env.find_opt x env = Some KFresh
+        | None -> false)
+    | None -> false
+  in
+  if not local then
+    ctx.info.i_muts <- { prim; mloc = loc; mguard = g.guard } :: ctx.info.i_muts
+
+let rec walk ctx env g e =
+  let g = guards_of_attrs ctx g e.pexp_attributes in
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> note_ref ctx env txt e.pexp_loc
+  | Pexp_apply (f, args) ->
+      (match apply_head f with
+      | Some segs ->
+          let d = dotted segs in
+          let pos = nolabel_args args in
+          (* Mutation primitives. *)
+          (match List.assoc_opt d write_prims with
+          | Some idx ->
+              let target = List.nth_opt pos idx in
+              record_mut ctx env g d target e.pexp_loc
+          | None ->
+              if List.mem d l5_allocs then ctx.fc.f_mutable <- true);
+          (* L4: float equality. *)
+          (match (d, pos) with
+          | ("=" | "<>"), [ a; b ]
+            when l4_in_scope ctx.fc.f_path
+                 && (is_floatish a || is_floatish b)
+                 && not g.feq ->
+              diag ctx "L4" e.pexp_loc
+                (Printf.sprintf
+                   "float equality %s: use an epsilon helper \
+                    (Numerics.Float_cmp) or annotate [@cts.float_eq_ok]"
+                   d)
+          | _ -> ());
+          (* Pool-task roots. *)
+          let is_pool_submit =
+            match segs with
+            | [ m; ("map" | "iter") ] -> resolve_alias ctx.fc m = "Parallel"
+            | _ -> false
+          in
+          if is_pool_submit then
+            List.iter
+              (fun arg ->
+                match arg.pexp_desc with
+                | Pexp_fun _ | Pexp_function _ | Pexp_ident _ ->
+                    let rinfo =
+                      {
+                        i_file = ctx.fc.f_path;
+                        i_mod = ctx.fc.f_mod;
+                        i_muts = [];
+                        i_calls = [];
+                      }
+                    in
+                    ctx.glob.roots <- rinfo :: ctx.glob.roots;
+                    walk { ctx with info = rinfo; in_root = true } env g arg
+                | _ -> ())
+              pos
+      | None -> ());
+      walk ctx env g f;
+      List.iter (fun (_, a) -> walk ctx env g a) args
+  | Pexp_setfield (tgt, _, v) ->
+      record_mut ctx env g "<- (mutable field set)" (Some tgt) e.pexp_loc;
+      walk ctx env g tgt;
+      walk ctx env g v
+  | Pexp_setinstvar (_, v) ->
+      record_mut ctx env g "<- (instance variable set)" None e.pexp_loc;
+      walk ctx env g v
+  | Pexp_let (rf, vbs, body) ->
+      let bound =
+        List.concat_map
+          (fun vb ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } -> [ (txt, kind_of_rhs vb.pvb_expr) ]
+            | _ -> List.map (fun v -> (v, KPlain)) (pattern_vars vb.pvb_pat))
+          vbs
+      in
+      let env' =
+        List.fold_left (fun e (v, k) -> Env.add v k e) env bound
+      in
+      let rhs_env = if rf = Asttypes.Recursive then env' else env in
+      List.iter
+        (fun vb ->
+          let g' = guards_of_attrs ctx g vb.pvb_attributes in
+          walk ctx rhs_env g' vb.pvb_expr)
+        vbs;
+      walk ctx env' g body
+  | Pexp_fun (_, default, pat, body) ->
+      Option.iter (walk ctx env g) default;
+      walk ctx (bind_plain env pat) g body
+  | Pexp_function cases -> walk_cases ctx env g cases
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      walk ctx env g scrut;
+      walk_cases ctx env g cases
+  | Pexp_for (pat, lo, hi, _, body) ->
+      walk ctx env g lo;
+      walk ctx env g hi;
+      walk ctx (bind_plain env pat) g body
+  | _ ->
+      (* Generic fallback: visit child expressions with the current
+         environment; no constructor left unhandled introduces value
+         bindings that matter to locality (cases are caught above). *)
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr = (fun _ e' -> walk ctx env g e');
+          case =
+            (fun _ c ->
+              let env = bind_plain env c.pc_lhs in
+              Option.iter (walk ctx env g) c.pc_guard;
+              walk ctx env g c.pc_rhs);
+          attributes = (fun _ _ -> ());
+          pat = (fun _ _ -> ());
+          typ = (fun _ _ -> ());
+        }
+      in
+      Ast_iterator.default_iterator.expr it e
+
+and walk_cases ctx env g cases =
+  List.iter
+    (fun c ->
+      let env = bind_plain env c.pc_lhs in
+      Option.iter (walk ctx env g) c.pc_guard;
+      walk ctx env g c.pc_rhs)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Structure pass                                                      *)
+
+let type_decl_mutable fc (td : type_declaration) =
+  (match td.ptype_kind with
+  | Ptype_record lds ->
+      List.iter
+        (fun ld -> if ld.pld_mutable = Asttypes.Mutable then fc.f_mutable <- true)
+        lds
+  | _ -> ());
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      typ =
+        (fun it t ->
+          (match t.ptyp_desc with
+          | Ptyp_constr ({ txt; _ }, _) ->
+              let segs = Longident.flatten txt in
+              let d = dotted segs in
+              if
+                List.mem d
+                  [
+                    "Hashtbl.t"; "Queue.t"; "Buffer.t"; "Stack.t";
+                    "Atomic.t"; "Mutex.t"; "Condition.t";
+                  ]
+                || d = "ref"
+              then fc.f_mutable <- true
+          | _ -> ());
+          Ast_iterator.default_iterator.typ it t);
+    }
+  in
+  it.type_declaration it td
+
+let do_structure glob fc (str : structure) =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let name =
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt; _ } -> txt
+                | _ ->
+                    Printf.sprintf "_top_%d"
+                      item.pstr_loc.Location.loc_start.Lexing.pos_lnum
+              in
+              let info = get_def glob (fc.f_mod, name) fc.f_path fc.f_mod in
+              let ctx =
+                { glob; fc; info; defname = name; in_root = false }
+              in
+              let g = guards_of_attrs ctx no_guards vb.pvb_attributes in
+              walk ctx Env.empty g vb.pvb_expr)
+            vbs
+      | Pstr_eval (e, attrs) ->
+          let info = get_def glob (fc.f_mod, "_eval") fc.f_path fc.f_mod in
+          let ctx = { glob; fc; info; defname = "_eval"; in_root = false } in
+          let g = guards_of_attrs ctx no_guards attrs in
+          walk ctx Env.empty g e
+      | Pstr_module mb -> (
+          match (mb.pmb_name.Location.txt, mb.pmb_expr.pmod_desc) with
+          | Some alias, Pmod_ident { txt; _ } -> (
+              match List.rev (Longident.flatten txt) with
+              | last :: _ -> Hashtbl.replace fc.f_aliases alias last
+              | [] -> ())
+          | _ -> ())
+      | Pstr_type (_, tds) -> List.iter (type_decl_mutable fc) tds
+      | _ -> ())
+    str
+
+(* ------------------------------------------------------------------ *)
+(* L1 reachability                                                     *)
+
+let report_l1 glob =
+  let visited : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter (fun r -> Queue.add r queue) glob.roots;
+  let reached = ref [] in
+  while not (Queue.is_empty queue) do
+    let info = Queue.pop queue in
+    reached := info :: !reached;
+    List.iter
+      (fun (m, n) ->
+        let key = ((if m = "" then info.i_mod else m), n) in
+        if not (Hashtbl.mem visited key) then begin
+          Hashtbl.replace visited key ();
+          match Hashtbl.find_opt glob.defs key with
+          | Some i -> Queue.add i queue
+          | None -> ()
+        end)
+      info.i_calls
+  done;
+  List.iter
+    (fun info ->
+      List.iter
+        (fun m ->
+          match m.mguard with
+          | Some _ -> ()
+          | None ->
+              let p = m.mloc.Location.loc_start in
+              glob.diags <-
+                {
+                  rule = "L1";
+                  file = info.i_file;
+                  line = p.Lexing.pos_lnum;
+                  col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+                  message =
+                    Printf.sprintf
+                      "%s writes shared state reachable from a Parallel \
+                       pool task; annotate the enclosing definition with \
+                       [@cts.guarded \"replay-log\"|\"mutex\"|\"atomic\"] \
+                       or keep the target task-local"
+                      m.prim;
+                }
+                :: glob.diags)
+        info.i_muts)
+    !reached
+
+(* ------------------------------------------------------------------ *)
+(* L5                                                                  *)
+
+let report_l5 glob mlis =
+  List.iter
+    (fun fc ->
+      if fc.f_mutable && l5_in_scope fc.f_path then begin
+        let mli_path = Filename.remove_extension fc.f_path ^ ".mli" in
+        match List.assoc_opt mli_path mlis with
+        | None -> ()  (* no interface: nothing to document *)
+        | Some text ->
+            let has_line =
+              let needle = "Domain-safety:" in
+              let nl = String.length needle and tl = String.length text in
+              let rec search i =
+                i + nl <= tl
+                && (String.sub text i nl = needle || search (i + 1))
+              in
+              search 0
+            in
+            if not has_line then
+              glob.diags <-
+                {
+                  rule = "L5";
+                  file = mli_path;
+                  line = 1;
+                  col = 0;
+                  message =
+                    Printf.sprintf
+                      "%s holds mutable state but its .mli has no \
+                       'Domain-safety:' doc line"
+                      fc.f_mod;
+                }
+                :: glob.diags
+      end)
+    glob.files
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let parse_structure path contents =
+  let lexbuf = Lexing.from_string contents in
+  Lexing.set_filename lexbuf path;
+  Parse.implementation lexbuf
+
+let lint_sources sources =
+  let sources = List.map (fun (p, c) -> (norm p, c)) sources in
+  let mls = List.filter (fun (p, _) -> Filename.check_suffix p ".ml") sources in
+  let mlis =
+    List.filter (fun (p, _) -> Filename.check_suffix p ".mli") sources
+  in
+  let glob =
+    { defs = Hashtbl.create 256; roots = []; files = []; diags = [] }
+  in
+  List.iter
+    (fun (path, contents) ->
+      let fc =
+        {
+          f_path = path;
+          f_mod = module_name_of path;
+          f_aliases = Hashtbl.create 8;
+          f_mutable = false;
+        }
+      in
+      glob.files <- fc :: glob.files;
+      match parse_structure path contents with
+      | str -> do_structure glob fc str
+      | exception exn ->
+          let line, col, msg =
+            match Location.error_of_exn exn with
+            | Some (`Ok (e : Location.error)) ->
+                let loc = e.Location.main.Location.loc in
+                let p = loc.Location.loc_start in
+                ( p.Lexing.pos_lnum,
+                  p.Lexing.pos_cnum - p.Lexing.pos_bol,
+                  Format.asprintf "%t" e.Location.main.Location.txt )
+            | _ -> (1, 0, Printexc.to_string exn)
+          in
+          glob.diags <-
+            { rule = "syntax"; file = path; line; col; message = msg }
+            :: glob.diags)
+    mls;
+  report_l1 glob;
+  report_l5 glob mlis;
+  List.sort_uniq compare glob.diags
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_paths paths =
+  lint_sources (List.map (fun p -> (p, read_file p)) paths)
+
+let rec scan_one acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "_build" || entry = ".git" || has_prefix "." entry then acc
+        else scan_one acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let scan paths =
+  List.sort compare (List.fold_left scan_one [] paths)

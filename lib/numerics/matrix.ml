@@ -45,7 +45,9 @@ let mul a b =
   for i = 0 to a.r - 1 do
     for k = 0 to a.c - 1 do
       let aik = get a i k in
-      if aik <> 0. then
+      (* Exact: skipping true zeros is a sparsity fast path, not a
+         tolerance decision. *)
+      if (aik <> 0.) [@cts.float_eq_ok] then
         for j = 0 to b.c - 1 do
           set m i j (get m i j +. (aik *. get b k j))
         done
@@ -88,7 +90,7 @@ let solve a0 b0 =
     let d = get a col col in
     for i = col + 1 to n - 1 do
       let f = get a i col /. d in
-      if f <> 0. then begin
+      if (f <> 0.) [@cts.float_eq_ok] then begin
         for j = col to n - 1 do
           set a i j (get a i j -. (f *. get a col j))
         done;

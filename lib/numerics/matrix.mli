@@ -1,5 +1,7 @@
 (** Dense row-major matrices over floats, sized for the small systems that
-    appear in polynomial surface fitting (tens of unknowns). *)
+    appear in polynomial surface fitting (tens of unknowns). 
+
+    Domain-safety: matrices are caller-owned mutable values; do not share one across domains without external synchronization. The operations here never touch global state. *)
 
 type t
 

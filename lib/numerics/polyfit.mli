@@ -4,7 +4,9 @@
     polynomial fits of simulation data over (input slew, wire length), and
     trivariate fits for branch components. Inputs are affinely normalized
     to [-1, 1] per dimension before fitting so the monomial normal
-    equations stay well conditioned. *)
+    equations stay well conditioned. 
+
+    Domain-safety: fitting allocates its own scratch matrices per call; no global state. *)
 
 type surface2
 (** Bivariate polynomial surface [f (x, y)]. *)

@@ -1,7 +1,9 @@
 let bisect ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
   let flo = f lo and fhi = f hi in
-  if flo = 0. then lo
-  else if fhi = 0. then hi
+  (* Exact zero tests are intentional: a root that lands exactly on an
+     endpoint or midpoint short-circuits the search. *)
+  if (flo = 0.) [@cts.float_eq_ok] then lo
+  else if (fhi = 0.) [@cts.float_eq_ok] then hi
   else if flo *. fhi > 0. then
     invalid_arg "Roots.bisect: no sign change on interval"
   else
@@ -10,7 +12,7 @@ let bisect ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
       if hi -. lo <= tol || iter >= max_iter then mid
       else
         let fmid = f mid in
-        if fmid = 0. then mid
+        if (fmid = 0.) [@cts.float_eq_ok] then mid
         else if flo *. fmid < 0. then go lo mid flo (iter + 1)
         else go mid hi fmid (iter + 1)
     in

@@ -49,7 +49,7 @@ let default_size () =
 
 (* Drain [job]: grab indices until exhausted. Whoever finishes the last
    task wakes the clients blocked in [run_job]. *)
-let execute pool job =
+let[@cts.guarded "atomic"] execute pool job =
   let rec go () =
     let i = Atomic.fetch_and_add job.next 1 in
     if i < job.n then begin
@@ -91,7 +91,7 @@ let worker pool =
     | None -> running := false (* stop *)
   done
 
-let run_job pool job =
+let[@cts.guarded "mutex"] run_job pool job =
   if job.n > 0 then begin
     Mutex.lock pool.mutex;
     pool.jobs <- job :: pool.jobs;
@@ -184,7 +184,7 @@ let () =
   at_exit (fun () ->
       match !default_ref with Some p -> shutdown p | None -> ())
 
-let default_pool () =
+let[@cts.guarded "mutex"] default_pool () =
   Mutex.lock default_mutex;
   let pool =
     match !default_ref with

@@ -19,7 +19,12 @@
     {b Exception contract}: if one or more tasks raise, every task of the
     job still runs to completion (or raises), the first captured
     exception is re-raised in the caller with its backtrace, and the pool
-    remains usable. *)
+    remains usable.
+
+    Domain-safety: the pool is the synchronization — the job queue is
+    guarded by the pool mutex, work-stealing indices and completion
+    counts are atomics, and the lazily-created default pool sits behind
+    its own mutex. *)
 
 type t
 (** A pool handle. Pools are cheap (a few idle domains); create one per

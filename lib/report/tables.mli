@@ -1,4 +1,6 @@
-(** Plain-text table rendering for experiment reports. *)
+(** Plain-text table rendering for experiment reports. 
+
+    Domain-safety: rendering uses a call-local Buffer only. *)
 
 val render : header:string list -> string list list -> string
 (** Column-aligned table with a header rule. Rows may be ragged; missing

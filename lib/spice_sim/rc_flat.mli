@@ -2,7 +2,9 @@
 
     Nodes are numbered in preorder so every parent index precedes its
     children, which lets the simulator run the exact O(n) tree
-    LU-elimination once per timestep. *)
+    LU-elimination once per timestep. 
+
+    Domain-safety: a flattened tree carries per-instance solver arrays; use one instance per domain. No global state. *)
 
 type t = {
   n : int;

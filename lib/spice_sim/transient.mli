@@ -10,7 +10,9 @@
     This staged decomposition is exact for clock trees because buffers
     present only their (constant) gate capacitance to the upstream stage;
     it is how the paper's own delay/slew library cuts trees at buffered
-    nodes (Sec. 3.2). *)
+    nodes (Sec. 3.2). 
+
+    Domain-safety: simulation state is per-call; no global state. *)
 
 type driver =
   | Vsource of Waveform.t

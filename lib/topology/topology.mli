@@ -8,7 +8,9 @@
     neighbour. With an odd node count, a seed node — the one with maximum
     latency — is promoted unpaired to the next level ("the nodes in the
     next level have larger delays", so this balances better than pairing
-    it). *)
+    it). 
+
+    Domain-safety: pairing uses call-local arrays and accumulators; inputs are immutable. Safe from any domain. *)
 
 type item = {
   pos : Geometry.Point.t;

@@ -3,7 +3,13 @@
     A SplitMix64 generator with an explicit, mutable state. All randomized
     parts of the project (benchmark generation, property-test inputs,
     jittered sweeps) draw from this module so that every run is exactly
-    reproducible from a seed. *)
+    reproducible from a seed.
+
+    Domain-safety: generator state is mutable and unsynchronized; each
+    domain or task must own its own [t] (split off with {!split} or
+    seeded independently). Nothing in the synthesis path itself draws
+    randomness — lint rule L2 confines Rng use to benchmark generation
+    and tests. *)
 
 type t
 (** Mutable generator state. *)

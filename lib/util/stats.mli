@@ -1,4 +1,6 @@
-(** Small statistics helpers over float arrays and lists. *)
+(** Small statistics helpers over float arrays and lists. 
+
+    Domain-safety: all helpers are pure over their inputs; scratch is call-local. *)
 
 val mean : float array -> float
 (** Arithmetic mean. Requires a non-empty array. *)

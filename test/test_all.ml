@@ -14,6 +14,7 @@ let () =
       ("delaylib", T_delaylib.suite);
       ("topology", T_topology.suite);
       ("ctree", T_ctree.suite);
+      ("ctree_check", T_ctree_check.suite);
       ("dme", T_dme.suite);
       ("cts", T_cts.suite);
       ("bmark", T_bmark.suite);
@@ -24,4 +25,5 @@ let () =
       ("bounded", T_bounded.suite);
       ("parallel", T_parallel.suite);
       ("bench_cli", T_bench_cli.suite);
+      ("lint", T_lint.suite);
     ]
