@@ -25,6 +25,15 @@ bench-par:
 lint:
 	dune build @lint
 
+# Observability smoke test: synthesize a small synthetic benchmark with
+# --stats and --trace, then validate the emitted Chrome trace JSON.
+trace-smoke:
+	dune build bin/cts_run.exe
+	dune exec bin/cts_run.exe -- synth --bench r1 --scale 0.05 \
+	  --profile fast --cache .cache/delaylib_fast.txt \
+	  --stats --trace trace_smoke.json
+	dune exec bin/cts_run.exe -- trace-check trace_smoke.json
+
 examples:
 	for e in quickstart soc_clock_domains benchmark_flow hstructure_study \
 	         delay_model_tour tree_gallery; do \
@@ -33,4 +42,5 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all test test-par bench bench-full bench-par lint examples clean
+.PHONY: all test test-par bench bench-full bench-par lint trace-smoke \
+        examples clean

@@ -3,6 +3,8 @@ type opts = {
   profile : Delaylib.profile;
   kernels : bool;
   parallel_bench : bool;
+  trace : string option;
+  stats : bool;
   help : bool;
   selected : string list;
 }
@@ -13,6 +15,8 @@ let default =
     profile = Delaylib.Accurate;
     kernels = true;
     parallel_bench = false;
+    trace = None;
+    stats = false;
     help = false;
     selected = [];
   }
@@ -20,7 +24,8 @@ let default =
 let usage ~known =
   Printf.sprintf
     "usage: main.exe [--scale F] [--profile fast|accurate] [--no-kernels] \
-     [--parallel-bench] [experiment ...]\nexperiments: %s"
+     [--parallel-bench] [--stats] [--trace FILE] [experiment ...]\n\
+     experiments: %s"
     (String.concat " " known)
 
 let parse ~known args =
@@ -50,6 +55,11 @@ let parse ~known args =
                  "unknown --profile %S (expected fast or accurate)" v))
     | "--no-kernels" :: rest -> go { acc with kernels = false } rest
     | "--parallel-bench" :: rest -> go { acc with parallel_bench = true } rest
+    | "--trace" :: rest -> (
+        match rest with
+        | [] -> Error "option --trace needs a value (output file)"
+        | v :: rest -> go { acc with trace = Some v } rest)
+    | "--stats" :: rest -> go { acc with stats = true } rest
     | opt :: _ when String.length opt > 0 && opt.[0] = '-' ->
         Error (Printf.sprintf "unknown option %S" opt)
     | name :: rest ->

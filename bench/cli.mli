@@ -9,6 +9,9 @@ type opts = {
   profile : Delaylib.profile;  (** Characterization profile. *)
   kernels : bool;  (** Run the Bechamel kernel timings. *)
   parallel_bench : bool;  (** Run only the parallel-speedup benchmark. *)
+  trace : string option;
+      (** Write a Chrome trace-event JSON of the run to this file. *)
+  stats : bool;  (** Print observability counters after the run. *)
   help : bool;  (** [--help] was given. *)
   selected : string list;  (** Experiment ids, in command-line order. *)
 }

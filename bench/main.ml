@@ -26,6 +26,11 @@ let () =
     | Delaylib.Fast -> "fast"
     | Delaylib.Accurate -> "accurate")
     opts.Cli.scale;
+  let observing = opts.Cli.stats || opts.Cli.trace <> None in
+  if observing then begin
+    Obs.reset ();
+    Obs.set_enabled true
+  end;
   if opts.Cli.parallel_bench then Par_bench.run ~profile:opts.Cli.profile ()
   else begin
     let todo =
@@ -35,17 +40,33 @@ let () =
     in
     let t0 = Unix.gettimeofday () in
     let env =
-      Experiments.make_env ~profile:opts.Cli.profile ~scale:opts.Cli.scale ()
+      Obs.phase "characterize" (fun () ->
+          Experiments.make_env ~profile:opts.Cli.profile ~scale:opts.Cli.scale
+            ())
     in
     Printf.printf "[delay/slew library ready in %.1f s]\n\n"
       (Unix.gettimeofday () -. t0);
     List.iter
       (fun (name, driver) ->
         let t0 = Unix.gettimeofday () in
-        let text = driver env in
+        let text = Obs.phase ("exp:" ^ name) (fun () -> driver env) in
         Printf.printf "=== %s (%.1f s) ===\n%s\n" name
           (Unix.gettimeofday () -. t0)
           text)
       todo;
     if opts.Cli.kernels then Kernels.run env
+  end;
+  if observing then begin
+    let snap = Obs.snapshot () in
+    Obs.set_enabled false;
+    if opts.Cli.stats then begin
+      print_string (Obs.summary snap);
+      let tbl = Progress.levels_table snap in
+      if tbl <> "" then Printf.printf "per-level progress:\n%s" tbl
+    end;
+    match opts.Cli.trace with
+    | Some path ->
+        Obs.write_trace path snap;
+        Printf.printf "trace written to %s\n" path
+    | None -> ()
   end

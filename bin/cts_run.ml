@@ -70,6 +70,48 @@ let format_t =
     value & opt (enum [ ("gsrc", `Gsrc); ("ispd", `Ispd) ]) `Gsrc
     & info [ "format" ] ~docv:"FMT" ~doc:"Benchmark file format.")
 
+let stats_t =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print observability counters, histograms and per-phase \
+           timings after the run.")
+
+let trace_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the run (open in \
+           chrome://tracing or Perfetto).")
+
+(* Enable observability for the duration of [f] when --stats/--trace
+   ask for it, then dump the requested outputs. Counters are
+   deterministic; phase timings are wall-clock and informational. *)
+let with_obs ~stats ~trace f =
+  if not (stats || trace <> None) then f ()
+  else begin
+    Obs.reset ();
+    Obs.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        let snap = Obs.snapshot () in
+        Obs.set_enabled false;
+        if stats then begin
+          print_string (Obs.summary snap);
+          let tbl = Progress.levels_table snap in
+          if tbl <> "" then Printf.printf "per-level progress:\n%s" tbl
+        end;
+        match trace with
+        | Some path ->
+            Obs.write_trace path snap;
+            Printf.printf "trace written to %s\n" path
+        | None -> ())
+      f
+  end
+
 let load_dl profile cache =
   let dir = Filename.dirname cache in
   (try if dir <> "." && not (Sys.file_exists dir) then Unix.mkdir dir 0o755
@@ -139,13 +181,15 @@ let characterize_cmd =
       & opt string ".cache/delaylib.txt"
       & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Library output file.")
   in
-  let run profile out domains verbose =
+  let run profile out stats trace domains verbose =
     setup_logs verbose;
     setup_domains domains;
+    with_obs ~stats ~trace @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let dl =
-      Delaylib.characterize ~profile Circuit.Tech.default
-        Circuit.Buffer_lib.default_library
+      Obs.phase "characterize" (fun () ->
+          Delaylib.characterize ~profile Circuit.Tech.default
+            Circuit.Buffer_lib.default_library)
     in
     Delaylib.save dl out;
     Printf.printf "characterized in %.1f s; %d fits; saved to %s\n"
@@ -161,7 +205,8 @@ let characterize_cmd =
   in
   Cmd.v
     (Cmd.info "characterize" ~doc:"Build and save the delay/slew library")
-    Term.(const run $ profile_t $ out_t $ domains_t $ verbose_t)
+    Term.(const run $ profile_t $ out_t $ stats_t $ trace_t $ domains_t
+          $ verbose_t)
 
 (* --------------------------- synth -------------------------------- *)
 
@@ -206,10 +251,11 @@ let synth_cmd =
       & info [ "svg" ] ~docv:"PATH" ~doc:"Render the tree layout to SVG.")
   in
   let run bench file format scale profile cache hstructure deck slew_limit
-      n_blockages svg domains verbose =
+      n_blockages svg stats trace domains verbose =
     setup_logs verbose;
     setup_domains domains;
-    let dl = load_dl profile cache in
+    with_obs ~stats ~trace @@ fun () ->
+    let dl = Obs.phase "load-library" (fun () -> load_dl profile cache) in
     let sinks, blocks =
       if n_blockages > 0 then begin
         match bench with
@@ -230,7 +276,10 @@ let synth_cmd =
       }
     in
     let t0 = Unix.gettimeofday () in
-    let res = Cts.synthesize ~config ~blockages:blocks dl sinks in
+    let res =
+      Obs.phase "synthesize" (fun () ->
+          Cts.synthesize ~config ~blockages:blocks dl sinks)
+    in
     Printf.printf "synthesized %d sinks in %.1f s (%d levels, %d flippings)\n"
       (List.length sinks)
       (Unix.gettimeofday () -. t0)
@@ -240,7 +289,10 @@ let synth_cmd =
     | errs ->
         List.iter (Printf.printf "  invariant violation: %s\n") errs;
         exit 2);
-    let m = Ctree_sim.simulate Circuit.Tech.default res.Cts.tree in
+    let m =
+      Obs.phase "simulate" (fun () ->
+          Ctree_sim.simulate Circuit.Tech.default res.Cts.tree)
+    in
     report_metrics "aggressive CTS result:" res.Cts.tree m;
     (match deck with
     | Some path ->
@@ -261,8 +313,8 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Synthesize a buffered clock tree and verify it")
     Term.(
       const run $ bench_t $ file_t $ format_t $ scale_t $ profile_t $ cache_t
-      $ hstructure_t $ deck_t $ slew_limit_t $ blockages_t $ svg_t
-      $ domains_t $ verbose_t)
+      $ hstructure_t $ deck_t $ slew_limit_t $ blockages_t $ svg_t $ stats_t
+      $ trace_t $ domains_t $ verbose_t)
 
 (* -------------------------- baseline ------------------------------ *)
 
@@ -289,22 +341,56 @@ let experiments_cmd =
       value & pos_all string []
       & info [] ~docv:"EXPERIMENT" ~doc:"Experiment ids (default: all).")
   in
-  let run names scale profile domains verbose =
+  let run names scale profile stats trace domains verbose =
     setup_logs verbose;
     setup_domains domains;
-    let env = Experiments.make_env ~profile ~scale () in
+    with_obs ~stats ~trace @@ fun () ->
+    let env =
+      Obs.phase "characterize" (fun () -> Experiments.make_env ~profile ~scale ())
+    in
     let todo =
       match names with
       | [] -> Experiments.all
       | _ -> List.filter (fun (n, _) -> List.mem n names) Experiments.all
     in
     List.iter
-      (fun (name, driver) -> Printf.printf "=== %s ===\n%s\n" name (driver env))
+      (fun (name, driver) ->
+        Obs.phase ("exp:" ^ name) (fun () ->
+            Printf.printf "=== %s ===\n%s\n" name (driver env)))
       todo
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Run paper-reproduction experiment drivers")
-    Term.(const run $ names_t $ scale_t $ profile_t $ domains_t $ verbose_t)
+    Term.(
+      const run $ names_t $ scale_t $ profile_t $ stats_t $ trace_t
+      $ domains_t $ verbose_t)
+
+(* ------------------------- trace-check ---------------------------- *)
+
+let trace_check_cmd =
+  let file_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace file written by --trace.")
+  in
+  let run path =
+    let contents =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Obs.validate_trace contents with
+    | Ok n -> Printf.printf "valid trace (%d events)\n" n
+    | Error msg ->
+        Printf.eprintf "cts_run: %s: invalid trace: %s\n" path msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a Chrome trace-event JSON file written by --trace")
+    Term.(const run $ file_t)
 
 let () =
   let info =
@@ -314,4 +400,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; characterize_cmd; synth_cmd; baseline_cmd; experiments_cmd ]))
+          [
+            gen_cmd;
+            characterize_cmd;
+            synth_cmd;
+            baseline_cmd;
+            experiments_cmd;
+            trace_check_cmd;
+          ]))

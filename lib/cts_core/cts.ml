@@ -181,6 +181,11 @@ let fresh_state dl cfg blockages =
     flips = 0;
   }
 
+let validated who cfg =
+  match Cts_config.validate cfg with
+  | [] -> cfg
+  | errs -> invalid_arg (who ^ ": invalid config: " ^ String.concat "; " errs)
+
 let leaf_port (cfg : Cts_config.t) (s : Sinks.spec) =
   let offset =
     Option.value ~default:0.
@@ -253,6 +258,7 @@ let synthesize_bisection ?config ?(blockages = Blockage.empty) ?pool
   | errs ->
       invalid_arg ("Cts.synthesize_bisection: " ^ String.concat "; " errs));
   let cfg = match config with Some c -> c | None -> Cts_config.default dl in
+  let cfg = validated "Cts.synthesize_bisection" cfg in
   let pool = match pool with Some p -> p | None -> Parallel.default_pool () in
   let st = fresh_state dl cfg blockages in
   (* Fork the recursion onto the pool near the root, where subtrees are
@@ -292,7 +298,7 @@ let synthesize_bisection ?config ?(blockages = Blockage.empty) ?pool
         let port = do_merge sc ~commit:true pl pr in
         (port, Int.max dl_left dl_right, log_left @ log_right @ entries_of sc)
   in
-  let root_port, depth, log = go specs 0 in
+  let root_port, depth, log = Obs.phase "bisection" (fun () -> go specs 0) in
   apply_entries st log;
   let res = finalize dl cfg st root_port ~levels:depth in
   if check then check_final dl cfg res;
@@ -304,6 +310,7 @@ let synthesize ?config ?(blockages = Blockage.empty) ?pool ?(check = false) dl
   | [] -> ()
   | errs -> invalid_arg ("Cts.synthesize: " ^ String.concat "; " errs));
   let cfg = match config with Some c -> c | None -> Cts_config.default dl in
+  let cfg = validated "Cts.synthesize" cfg in
   let pool = match pool with Some p -> p | None -> Parallel.default_pool () in
   let st = fresh_state dl cfg blockages in
   let centroid = Sinks.centroid specs in
@@ -311,6 +318,9 @@ let synthesize ?config ?(blockages = Blockage.empty) ?pool ?(check = false) dl
   let levels = ref 0 in
   while List.length !ports > 1 do
     incr levels;
+    Obs.phase (Printf.sprintf "level %d" !levels) @@ fun () ->
+    let inserted0 = st.inserted in
+    let merges0 = Obs.read Obs.Merges_routed in
     let items = Array.of_list !ports in
     let t_items = Array.map as_item items in
     let pairing =
@@ -341,6 +351,9 @@ let synthesize ?config ?(blockages = Blockage.empty) ?pool ?(check = false) dl
         apply_entries st log;
         next := port :: !next)
       merged;
+    Obs.hist_add Obs.Buffers_per_level ~bucket:!levels (st.inserted - inserted0);
+    Obs.hist_add Obs.Merges_per_level ~bucket:!levels
+      (Obs.read Obs.Merges_routed - merges0);
     Log.debug (fun m ->
         m "level %d: %d -> %d subtrees" !levels (Array.length items)
           (List.length !next));

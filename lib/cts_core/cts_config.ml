@@ -48,3 +48,27 @@ let default dl =
   }
 
 let with_hstructure t h = { t with hstructure = h }
+
+let validate t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  if t.grid_bins < 1 then err "grid_bins must be >= 1 (got %d)" t.grid_bins;
+  if t.max_grid_bins < t.grid_bins then
+    err
+      "max_grid_bins (%d) must be >= grid_bins (%d): the refinement cap \
+       would undercut the initial grid"
+      t.max_grid_bins t.grid_bins;
+  if t.target_bin_len <= 0. then
+    err "target_bin_len must be positive (got %g um)" t.target_bin_len;
+  if t.slew_target <= 0. then
+    err "slew_target must be positive (got %g s)" t.slew_target;
+  if t.slew_target > t.slew_limit then
+    err "slew_target (%g s) must not exceed slew_limit (%g s)" t.slew_target
+      t.slew_limit;
+  if t.top_margin <= 0. || t.top_margin > 1. then
+    err "top_margin must be in (0, 1] (got %g)" t.top_margin;
+  if t.max_stub_len < 0. then
+    err "max_stub_len must be non-negative (got %g um)" t.max_stub_len;
+  if t.max_stub_cap < 0. then
+    err "max_stub_cap must be non-negative (got %g F)" t.max_stub_cap;
+  List.rev !errs

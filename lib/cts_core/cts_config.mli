@@ -1,4 +1,7 @@
-(** Synthesis configuration for the aggressive buffered CTS flow. *)
+(** Synthesis configuration for the aggressive buffered CTS flow.
+
+    Domain-safety: the configuration record is immutable; [validate]
+    only mutates a call-local error accumulator. *)
 
 type hstructure = H_none | H_reestimate | H_correct
 (** H-structure handling (Sec. 4.1.2): off, Method 1 (re-estimation by
@@ -49,3 +52,13 @@ val default : Delaylib.t -> t
     handling off. *)
 
 val with_hstructure : t -> hstructure -> t
+
+val validate : t -> string list
+(** Sanity-check a configuration; each returned string names one
+    problem (empty list: valid). Checks, among others, that
+    [grid_bins <= max_grid_bins] — the dynamic grid refinement clamps
+    at the cap, so a config violating this used to silently exceed
+    [max_grid_bins] — that the slew target is positive and within the
+    limit, and that [top_margin] is a fraction. {!Cts.synthesize} and
+    {!Cts.synthesize_bisection} reject invalid configs with
+    [Invalid_argument]. *)

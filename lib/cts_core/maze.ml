@@ -18,11 +18,21 @@ let side_delay dl (cfg : Cts_config.t) (e : Run.eval) top_wire =
   in
   e.Run.delay_below +. ev.Delaylib.wire_delay
 
+(* The cap clamps last so it binds even against [grid_bins]: with the
+   old [max grid_bins (min cap wanted)] order a config carrying
+   [grid_bins > max_grid_bins] silently exceeded the cap ([Cts_config]
+   now also rejects such configs up front). *)
 let bins_for (cfg : Cts_config.t) span =
   let wanted = int_of_float (Float.ceil (span /. cfg.target_bin_len)) in
-  Int.max cfg.grid_bins (Int.min cfg.max_grid_bins wanted)
+  Int.min cfg.max_grid_bins (Int.max cfg.grid_bins wanted)
+
+(* Round to the nearest 0.1 um. [int_of_float (d *. 10.)] truncated
+   toward zero: lengths 0.04 um apart could alias while lengths 0.01 um
+   apart split, and the quantization was asymmetric around 0. *)
+let cache_key d = int_of_float (Float.round (d *. 10.))
 
 let select dl (cfg : Cts_config.t) (p1 : Port.t) (p2 : Port.t) =
+  Obs.incr Obs.Maze_selects;
   let pos1 = Port.pos p1 and pos2 = Port.pos p2 in
   let direct = Point.manhattan pos1 pos2 in
   let span = Float.max direct 1. in
@@ -49,10 +59,13 @@ let select dl (cfg : Cts_config.t) (p1 : Port.t) (p2 : Port.t) =
   let eval_side port =
     let cache = Hashtbl.create 256 in
     fun d ->
-      let key = int_of_float (d *. 10.) in
+      let key = cache_key d in
       match Hashtbl.find_opt cache key with
-      | Some e -> e
+      | Some e ->
+          Obs.incr Obs.Eval_cache_hits;
+          e
       | None ->
+          Obs.incr Obs.Eval_cache_misses;
           let e = Run.eval dl cfg port d in
           Hashtbl.replace cache key e;
           e
@@ -81,6 +94,7 @@ let select dl (cfg : Cts_config.t) (p1 : Port.t) (p2 : Port.t) =
         and d2 = Point.manhattan pos2 center in
         let is_direct = d1 +. d2 <= direct +. (2. *. margin) in
         if (not detour_only) = is_direct then begin
+          Obs.incr Obs.Maze_bins_evaluated;
           let e1 = eval1 d1 and e2 = eval2 d2 in
           let t1 = side_delay dl cfg e1 e1.Run.top_free in
           let t2 = side_delay dl cfg e2 e2.Run.top_free in

@@ -20,6 +20,19 @@ type choice = {
   bins_per_dim : int;  (** Grid resolution actually used. *)
 }
 
+val bins_for : Cts_config.t -> float -> int
+(** Grid bins per dimension for a net spanning the given distance (um):
+    [grid_bins] grown toward a [target_bin_len] pitch, capped at
+    [max_grid_bins] (the cap binds even against a misconfigured
+    [grid_bins]; {!Cts_config.validate} rejects such configs). Exposed
+    for the clamp-order regression test. *)
+
+val cache_key : float -> int
+(** Per-side eval-cache quantization of a path length: nearest 0.1 um
+    ([Float.round], symmetric around 0 — truncation aliased lengths
+    0.04 um apart while splitting lengths 0.01 um apart). Exposed for
+    the rounding regression test. *)
+
 val side_delay : Delaylib.t -> Cts_config.t -> Run.eval -> float -> float
 (** [side_delay dl cfg e top_wire] — delay of one side through its top
     wire of the given length, under the assumed-driver model (driver

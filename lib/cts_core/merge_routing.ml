@@ -23,6 +23,7 @@ let balance_capacity dl cfg (port : Port.t) length =
    budget) on top of [port]; the wire is folded in place, so the port
    position does not move. *)
 let snake_stage dl (cfg : Cts_config.t) ~blockages (port : Port.t) ~max_delay =
+  Obs.incr Obs.Snake_stages;
   let tech = Delaylib.tech dl in
   let buf, buf_span =
     Run.choose_buffer dl cfg ~stub_len:port.Port.stub_len
@@ -139,6 +140,7 @@ let binary_search dl (cfg : Cts_config.t) ~(e1 : Run.eval) ~(e2 : Run.eval)
       | Ctree.Buf _ | Ctree.Merge -> ())
     (Ctree.sinks v1);
   let diff r =
+    Obs.incr Obs.Bisection_iters;
     let pos = Lpath.point_at seg (r *. seg_len) in
     let cand =
       candidate_tree ~pos ~v1 ~v2 ~w1:(r *. seg_len)
@@ -174,19 +176,28 @@ let binary_search dl (cfg : Cts_config.t) ~(e1 : Run.eval) ~(e2 : Run.eval)
 
 (* Blockage-aware position legalizer for buffer placement along a path:
    pull back toward the port when possible (always slew-safe), jump past
-   the blockage otherwise. *)
+   the blockage otherwise. [None] when nothing from the blockage to the
+   path end is legal — including the end itself, so clamping to the end
+   (or the old [length +. 1.] off-path sentinel, which [Lpath.point_at]
+   silently clamped to the end point) would drop a buffer inside a
+   blockage; Run.eval treats [None] as explicit infeasibility and the
+   merge-node guard takes over. *)
 let placer blockages path ~cur d_ideal =
-  if Blockage.legal blockages (Lpath.point_at path d_ideal) then d_ideal
+  if Blockage.legal blockages (Lpath.point_at path d_ideal) then Some d_ideal
   else begin
+    Obs.incr Obs.Placer_adjusted;
     let down = Blockage.slide_down blockages path d_ideal in
-    if down > cur +. 1. then down
+    if down > cur +. 1. then Some down
     else
       match Blockage.first_legal_after blockages path d_ideal with
-      | Some up -> up
-      | None -> Lpath.length path +. 1.
+      | Some up -> Some up
+      | None ->
+          Obs.incr Obs.Placer_infeasible;
+          None
   end
 
 let merge ?(blockages = Blockage.empty) dl (cfg : Cts_config.t) p1 p2 =
+  Obs.incr Obs.Merges_routed;
   let tech = Delaylib.tech dl in
   (* Stage 1: balance. *)
   let p1, p2, snaked =

@@ -32,6 +32,19 @@ val merge :
     to blockage-free locations (wires may still cross blockages, per the
     ISPD 2009 rules). *)
 
+val placer :
+  Blockage.t -> Lpath.t -> cur:float -> float -> float option
+(** [placer blocks path ~cur d_ideal] legalizes a planned buffer
+    position along [path] (the [?place] argument {!Run.eval} receives):
+    [d_ideal] itself when legal, else a slide back toward [cur]
+    (slew-safe) when that gains ground, else the first legal position
+    past the blockage. [None] when nothing from the blockage through the
+    path end is legal — the run is then infeasible and the merge-node
+    guard plants a legalized buffer instead (the previous fallback
+    returned the off-path distance [length +. 1.], which downstream
+    clamping would have placed {e inside} the blockage at the path
+    end). Exposed for the fully-blocked-path regression test. *)
+
 val balance_capacity : Delaylib.t -> Cts_config.t -> Port.t -> float -> float
 (** Estimated delay a buffered run of the given length can add to a side
     — the threshold the balance stage compares the delay difference

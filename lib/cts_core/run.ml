@@ -13,10 +13,13 @@ type eval = {
 
 (* Spans depend only on (buffer, load class, slew target); memoize.
    The table is shared by every domain of the synthesis pool, so all
-   access goes through [span_mutex]. The computation itself runs outside
-   the lock: two domains may race to fill the same key, but they compute
-   the identical value from the identical inputs, so the cache stays
-   deterministic regardless of the schedule. *)
+   access goes through [span_mutex] — including the miss computation.
+   Computing under the lock serializes first-time characterization of a
+   key, but guarantees each key is computed exactly once process-wide:
+   racing domains used to duplicate the (identical) computation, which
+   was value-safe but made the Obs delay-library evaluation counts
+   schedule-dependent. One compute per key keeps parallel counter
+   totals identical to sequential ones. *)
 let span_cache : (string * float * float, float) Hashtbl.t = Hashtbl.create 64
 let span_mutex = Mutex.create ()
 
@@ -24,19 +27,29 @@ let[@cts.guarded "mutex"] span dl (cfg : Cts_config.t) ~drive ~load_cap =
   let class_cap = Delaylib.load_class_cap dl load_cap in
   let key = (drive.Buffer_lib.name, class_cap, cfg.slew_target) in
   Mutex.lock span_mutex;
-  let hit = Hashtbl.find_opt span_cache key in
-  Mutex.unlock span_mutex;
-  match hit with
-  | Some s -> s
-  | None ->
-      let s =
-        Delaylib.max_length_for_slew dl ~drive ~load_cap
-          ~input_slew:cfg.slew_target ~slew_limit:cfg.slew_target
-      in
-      Mutex.lock span_mutex;
-      Hashtbl.replace span_cache key s;
-      Mutex.unlock span_mutex;
-      s
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock span_mutex)
+    (fun () ->
+      match Hashtbl.find_opt span_cache key with
+      | Some s ->
+          Obs.incr Obs.Span_cache_hits;
+          s
+      | None ->
+          Obs.incr Obs.Span_cache_misses;
+          let s =
+            Delaylib.max_length_for_slew dl ~drive ~load_cap
+              ~input_slew:cfg.slew_target ~slew_limit:cfg.slew_target
+          in
+          Hashtbl.replace span_cache key s;
+          s)
+
+(* The cache is process-global and outlives one synthesis; tests that
+   compare counter snapshots across runs reset it so both runs pay the
+   same misses. *)
+let[@cts.guarded "mutex"] reset_span_cache () =
+  Mutex.lock span_mutex;
+  Hashtbl.reset span_cache;
+  Mutex.unlock span_mutex
 
 let stage_delay dl (cfg : Cts_config.t) drive ~length ~load_cap =
   let e =
@@ -75,8 +88,9 @@ let choose_buffer dl (cfg : Cts_config.t) ~stub_len ~load_cap =
   in
   match smallest with Some pick -> pick | None -> assert false
 
-let eval ?(place = fun ~cur:_ d -> d) dl (cfg : Cts_config.t) (port : Port.t)
-    length =
+let eval ?(place = fun ~cur:_ d -> Some d) dl (cfg : Cts_config.t)
+    (port : Port.t) length =
+  Obs.incr Obs.Run_evals;
   let tech = Delaylib.tech dl in
   let delay = ref port.Port.delay in
   let buffers = ref [] in
@@ -99,28 +113,37 @@ let eval ?(place = fun ~cur:_ d -> d) dl (cfg : Cts_config.t) (port : Port.t)
       let buf, buf_span = choose_buffer dl cfg ~stub_len:!stub_len ~load_cap:!stub_load in
       let ideal = Float.max 0. (Float.min buf_span remaining) in
       if buf_span <= 0. then feasible := false;
-      (* Legalize the planned position against blockages. *)
-      let placed = place ~cur:!pos (!pos +. ideal) in
-      if placed <= !pos +. 1. || placed >= length +. 0.5 then begin
-        (* Either the stub alone violates the budget, or no legal
-           position remains inside the run: stop inserting; the merge
-           guard legalizes a buffer near the merge point. *)
-        feasible := false;
-        top_reached := true
-      end
-      else begin
-        let wire_above = Float.min (placed -. !pos) remaining in
-        if wire_above > (1.15 *. buf_span) +. 1. then feasible := false;
-        (* Stage: [buf] drives (wire_above + stub) into the stub load. *)
-        delay :=
-          !delay
-          +. stage_delay dl cfg buf ~length:(wire_above +. !stub_len)
-               ~load_cap:!stub_load;
-        pos := !pos +. wire_above;
-        buffers := { buf; dist = !pos } :: !buffers;
-        stub_len := 0.;
-        stub_load := Buffer_lib.input_cap tech buf
-      end
+      (* Legalize the planned position against blockages. [None] means
+         no legal position exists anywhere up the rest of the path. *)
+      match place ~cur:!pos (!pos +. ideal) with
+      | None ->
+          (* Explicit infeasibility from the legalizer: stop inserting;
+             the merge guard legalizes a buffer near the merge point. *)
+          feasible := false;
+          top_reached := true
+      | Some placed ->
+          if placed <= !pos +. 1. || placed >= length +. 0.5 then begin
+            (* Either the stub alone violates the budget, or the
+               legalized position degenerates (at/behind the previous
+               buffer, or past the run top): same bail-out. *)
+            feasible := false;
+            top_reached := true
+          end
+          else begin
+            let wire_above = Float.min (placed -. !pos) remaining in
+            if wire_above > (1.15 *. buf_span) +. 1. then feasible := false;
+            (* Stage: [buf] drives (wire_above + stub) into the stub
+               load. *)
+            delay :=
+              !delay
+              +. stage_delay dl cfg buf ~length:(wire_above +. !stub_len)
+                   ~load_cap:!stub_load;
+            pos := !pos +. wire_above;
+            buffers := { buf; dist = !pos } :: !buffers;
+            Obs.incr Obs.Run_buffers_placed;
+            stub_len := 0.;
+            stub_load := Buffer_lib.input_cap tech buf
+          end
     end
   done;
   let top_free = length -. !pos in

@@ -37,13 +37,21 @@ val span :
     assumption.
 
     Domain-safety: the memo table is mutex-guarded and may be hit
-    from every domain of the synthesis pool concurrently. Cached values
-    are a pure function of the key, so which domain fills an entry never
-    changes any result — the parallel flow stays bit-identical to the
-    sequential one. *)
+    from every domain of the synthesis pool concurrently; misses are
+    computed under the lock so each key is evaluated exactly once
+    process-wide. Cached values are a pure function of the key, so which
+    domain fills an entry never changes any result — the parallel flow
+    stays bit-identical to the sequential one, and even the [Obs]
+    delay-library evaluation counts are schedule-independent. *)
+
+val reset_span_cache : unit -> unit
+(** Empty the (process-global) span memo. For tests that compare [Obs]
+    counter snapshots across runs: both runs then pay the same cache
+    misses. Never needed for correctness — cached values are a pure
+    function of the key. *)
 
 val eval :
-  ?place:(cur:float -> float -> float) -> Delaylib.t -> Cts_config.t ->
+  ?place:(cur:float -> float -> float option) -> Delaylib.t -> Cts_config.t ->
   Port.t -> float -> eval
 (** [eval dl cfg port length] analyzes a run of [length] um.
 
@@ -51,11 +59,12 @@ val eval :
     (distance from the port along the run; [cur] is the previous buffer's
     position) against placement blockages: it may pull the position back
     toward [cur] (always slew-safe) or, when everything between [cur] and
-    [ideal] is blocked, push it forward past the blockage. Forced forward
-    jumps exceeding the span budget by more than 15%, or runs with no
-    legal position left, are marked infeasible (the merge-node guard
-    legalizes a buffer near the merge point in that case). Default: no
-    blockages. *)
+    [ideal] is blocked, push it forward past the blockage; [None] means
+    no legal position exists anywhere up the rest of the path. Forced
+    forward jumps exceeding the span budget by more than 15%, a [None],
+    or a degenerate legalized position mark the run infeasible (the
+    merge-node guard legalizes a buffer near the merge point in that
+    case). Default: no blockages, [Some ideal]. *)
 
 val choose_buffer :
   Delaylib.t -> Cts_config.t -> stub_len:float -> load_cap:float ->

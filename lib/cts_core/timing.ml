@@ -96,6 +96,7 @@ let endpoint_cap tech (n : Ctree.t) =
    slew at endpoint) for each endpoint. *)
 let analyze_stage dl (cfg : Cts_config.t) ~drive ~input_slew (root : Ctree.t)
     =
+  Obs.incr Obs.Timing_stages;
   let tech = Delaylib.tech dl in
   ignore cfg;
   match branch_shape root with
@@ -145,6 +146,7 @@ let stage_worst_slew dl cfg ~drive ~input_slew (region : Ctree.t) =
   List.fold_left (fun acc (_, _, s) -> Float.max acc s) 0. endpoints
 
 let analyze_driven dl cfg ~drive ~input_slew (region : Ctree.t) =
+  Obs.incr Obs.Timing_analyses;
   (* Useful skew: sink arrivals are compared net of their prescribed
      offsets, so balancing drives each sink toward its own target. *)
   let offset name =

@@ -82,6 +82,7 @@ let char_sim_config = { T.default_config with T.dt = 1e-12 }
 (* Characterization circuits                                           *)
 
 let measure_single tech drive input ~length ~load_cap =
+  Obs.incr Obs.Char_sims;
   let load = Rc_tree.leaf ~tag:"load" load_cap in
   let r, chain = Rc_tree.wire tech ~length load in
   let tree = Rc_tree.node ~tag:"out" [ (r, chain) ] in
@@ -97,6 +98,7 @@ let measure_single tech drive input ~length ~load_cap =
   | _, _, _ -> None
 
 let measure_branch tech drive input ~len_left ~len_right ~cap_left ~cap_right =
+  Obs.incr Obs.Char_sims;
   let left = Rc_tree.leaf ~tag:"left" cap_left in
   let right = Rc_tree.leaf ~tag:"right" cap_right in
   let rl, cl = Rc_tree.wire tech ~length:len_left left in
@@ -339,6 +341,7 @@ let find_single t (drive : Buffer_lib.t) cap =
   | None -> invalid_arg ("Delaylib: unknown drive buffer " ^ drive.name)
 
 let eval_single t ~drive ~load_cap ~input_slew ~length =
+  Obs.incr Obs.Delay_evals_single;
   let f = find_single t drive load_cap in
   let s = clamp t.slew_lo t.slew_hi input_slew in
   let l = clamp t.len_lo t.len_hi length in
@@ -350,6 +353,7 @@ let eval_single t ~drive ~load_cap ~input_slew ~length =
 
 let eval_branch t ~drive ~load_cap_left ~load_cap_right ~input_slew ~len_left
     ~len_right =
+  Obs.incr Obs.Delay_evals_branch;
   let cl = branch_class_index t load_cap_left in
   let cr = branch_class_index t load_cap_right in
   let s = clamp t.slew_lo t.slew_hi input_slew in

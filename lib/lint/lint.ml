@@ -54,10 +54,14 @@ let l2_exempt path =
   || has_suffix "lib/bmark/synthetic.ml" path
   || path = "rng.ml" || path = "synthetic.ml"
 
+(* The observability clock (lib/obs/obs_clock.ml) is the single blessed
+   wall-clock module: everything else in lib/ must go through Obs.Clock
+   so timing side-effects stay confined to one auditable site. *)
 let l3_in_scope path =
   has_prefix "lib/" path
   && (not (has_prefix "lib/report/" path))
-  && not (has_prefix "lib/bench/" path)
+  && (not (has_prefix "lib/bench/" path))
+  && not (has_suffix "lib/obs/obs_clock.ml" path)
 
 let l4_in_scope path =
   has_prefix "lib/cts_core/" path
@@ -114,7 +118,7 @@ let l5_allocs =
     "Stack.create"; "Atomic.make"; "Mutex.create"; "Condition.create";
   ]
 
-let mechanisms = [ "replay-log"; "mutex"; "atomic" ]
+let mechanisms = [ "replay-log"; "mutex"; "atomic"; "domain-local" ]
 
 let wallclock = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
 
@@ -288,7 +292,7 @@ let guards_of_attrs ctx g attrs =
           | Some _ | None ->
               diag ctx "L1" a.attr_loc
                 "[@cts.guarded] must name its mechanism: \"replay-log\", \
-                 \"mutex\" or \"atomic\"";
+                 \"mutex\", \"atomic\" or \"domain-local\"";
               g)
       | "cts.float_eq_ok" -> { g with feq = true }
       | _ -> g)
@@ -339,8 +343,8 @@ let note_ref ctx env (lid : Longident.t) loc =
       if List.mem d wallclock && l3_in_scope ctx.fc.f_path then
         diag ctx "L3" loc
           (Printf.sprintf
-             "wall-clock call %s in lib/ (allowed only under lib/report \
-              and lib/bench)"
+             "wall-clock call %s in lib/ (allowed only under lib/report, \
+              lib/bench and Obs.Clock)"
              d);
       let m = resolve_alias ctx.fc (List.nth mods (List.length mods - 1)) in
       add_call ctx (m, name)
@@ -596,7 +600,8 @@ let report_l1 glob =
                     Printf.sprintf
                       "%s writes shared state reachable from a Parallel \
                        pool task; annotate the enclosing definition with \
-                       [@cts.guarded \"replay-log\"|\"mutex\"|\"atomic\"] \
+                       [@cts.guarded \
+                       \"replay-log\"|\"mutex\"|\"atomic\"|\"domain-local\"] \
                        or keep the target task-local"
                       m.prim;
                 }

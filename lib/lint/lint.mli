@@ -14,7 +14,10 @@
       [Buffer.add*], [Queue]/[Stack]/[Atomic] writes) may be reachable
       from a function submitted to a [Parallel] pool unless an
       enclosing definition carries
-      [[@cts.guarded "replay-log" | "mutex" | "atomic"]].
+      [[@cts.guarded "replay-log" | "mutex" | "atomic" |
+      "domain-local"]] ("domain-local" covers [Domain.DLS]-sharded
+      accumulators such as the {!Obs} counter store, merged
+      deterministically by the coordinator).
       Mutation of values freshly allocated inside the task ([let r =
       ref ...], [let h = Hashtbl.create ...], record/array literals)
       is task-local and always allowed. Reachability is a
@@ -24,7 +27,9 @@
     - {b L2} — no [Random.*] or [Rng] use outside [lib/util/rng.ml]
       and [lib/bmark/synthetic.ml].
     - {b L3} — no wall-clock ([Unix.gettimeofday], [Unix.time],
-      [Sys.time]) under [lib/] outside [lib/report] and [lib/bench].
+      [Sys.time]) under [lib/] outside [lib/report], [lib/bench] and
+      the observability clock [lib/obs/obs_clock.ml] ([Obs.Clock] is
+      the one blessed gateway; timers must go through it).
     - {b L4} — float equality [=] / [<>] on syntactically-float
       operands in [lib/cts_core], [lib/dme], [lib/numerics], unless
       annotated [[@cts.float_eq_ok]].
@@ -33,7 +38,7 @@
       [Domain-safety:] doc line.
 
     A [[@cts.guarded]] attribute whose payload is missing or is not
-    one of the three known mechanisms is itself reported (rule L1):
+    one of the four known mechanisms is itself reported (rule L1):
     blanket suppressions are not accepted. *)
 
 type diagnostic = {

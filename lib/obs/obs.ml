@@ -1,0 +1,364 @@
+(* Deterministic observability layer. See obs.mli for the contract.
+
+   Storage model: every domain owns a stack of accumulators in
+   domain-local storage. The bottom element is the domain's base
+   accumulator — on the main domain, the process totals. Parallel.map
+   brackets each pool task with [task_enter]/[task_leave], so increments
+   made while a task runs (on whichever domain picked it up) land in a
+   task-private accumulator; the pool absorbs the resulting deltas into
+   the caller in task-index order, mirroring the replay-log pattern that
+   keeps the synthesis itself deterministic. Worker-domain base
+   accumulators exist but stay empty: workers only ever record inside
+   tasks. *)
+
+module Clock = Obs_clock
+
+type counter =
+  | Maze_selects
+  | Maze_bins_evaluated
+  | Eval_cache_hits
+  | Eval_cache_misses
+  | Snake_stages
+  | Bisection_iters
+  | Merges_routed
+  | Placer_adjusted
+  | Placer_infeasible
+  | Run_evals
+  | Run_buffers_placed
+  | Span_cache_hits
+  | Span_cache_misses
+  | Delay_evals_single
+  | Delay_evals_branch
+  | Char_sims
+  | Timing_stages
+  | Timing_analyses
+  | Topology_edge_costs
+  | Topology_pairings
+
+type histogram = Buffers_per_level | Merges_per_level
+
+let counter_index = function
+  | Maze_selects -> 0
+  | Maze_bins_evaluated -> 1
+  | Eval_cache_hits -> 2
+  | Eval_cache_misses -> 3
+  | Snake_stages -> 4
+  | Bisection_iters -> 5
+  | Merges_routed -> 6
+  | Placer_adjusted -> 7
+  | Placer_infeasible -> 8
+  | Run_evals -> 9
+  | Run_buffers_placed -> 10
+  | Span_cache_hits -> 11
+  | Span_cache_misses -> 12
+  | Delay_evals_single -> 13
+  | Delay_evals_branch -> 14
+  | Char_sims -> 15
+  | Timing_stages -> 16
+  | Timing_analyses -> 17
+  | Topology_edge_costs -> 18
+  | Topology_pairings -> 19
+
+let n_counters = 20
+
+let all_counters =
+  [
+    Maze_selects; Maze_bins_evaluated; Eval_cache_hits; Eval_cache_misses;
+    Snake_stages; Bisection_iters; Merges_routed; Placer_adjusted;
+    Placer_infeasible; Run_evals; Run_buffers_placed; Span_cache_hits;
+    Span_cache_misses; Delay_evals_single; Delay_evals_branch; Char_sims;
+    Timing_stages; Timing_analyses; Topology_edge_costs; Topology_pairings;
+  ]
+
+let counter_name = function
+  | Maze_selects -> "maze.selects"
+  | Maze_bins_evaluated -> "maze.bins_evaluated"
+  | Eval_cache_hits -> "maze.eval_cache_hits"
+  | Eval_cache_misses -> "maze.eval_cache_misses"
+  | Snake_stages -> "merge.snake_stages"
+  | Bisection_iters -> "merge.bisection_iters"
+  | Merges_routed -> "merge.merges_routed"
+  | Placer_adjusted -> "place.adjusted"
+  | Placer_infeasible -> "place.infeasible"
+  | Run_evals -> "run.evals"
+  | Run_buffers_placed -> "run.buffers_placed"
+  | Span_cache_hits -> "run.span_cache_hits"
+  | Span_cache_misses -> "run.span_cache_misses"
+  | Delay_evals_single -> "delaylib.evals_single"
+  | Delay_evals_branch -> "delaylib.evals_branch"
+  | Char_sims -> "delaylib.char_sims"
+  | Timing_stages -> "timing.stages"
+  | Timing_analyses -> "timing.analyses"
+  | Topology_edge_costs -> "topology.edge_costs"
+  | Topology_pairings -> "topology.pairings"
+
+let all_histograms = [ Buffers_per_level; Merges_per_level ]
+let histogram_index = function Buffers_per_level -> 0 | Merges_per_level -> 1
+
+let histogram_name = function
+  | Buffers_per_level -> "buffers_per_level"
+  | Merges_per_level -> "merges_per_level"
+
+(* ------------------------------------------------------------------ *)
+(* Storage                                                             *)
+
+(* Histogram cells are keyed (histogram index, bucket). *)
+type acc = { counts : int array; hists : (int * int, int) Hashtbl.t }
+
+let make_acc () = { counts = Array.make n_counters 0; hists = Hashtbl.create 16 }
+
+let stack : acc list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [ make_acc () ])
+
+let current () =
+  match !(Domain.DLS.get stack) with a :: _ -> a | [] -> assert false
+
+(* Read without synchronization on the hot path: the flag only changes
+   on the main domain while no pool job is in flight, and a momentarily
+   stale read merely skips or takes one increment of a layer that is
+   being toggled — synthesis results never depend on it. *)
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+
+let[@cts.guarded "domain-local"] incr ?(n = 1) c =
+  if !enabled_flag then begin
+    let a = current () in
+    let i = counter_index c in
+    a.counts.(i) <- a.counts.(i) + n
+  end
+
+let[@cts.guarded "domain-local"] hist_add h ~bucket n =
+  if !enabled_flag && n <> 0 then begin
+    let a = current () in
+    let key = (histogram_index h, bucket) in
+    let prev =
+      match Hashtbl.find_opt a.hists key with Some v -> v | None -> 0
+    in
+    Hashtbl.replace a.hists key (prev + n)
+  end
+
+let read c = if !enabled_flag then (current ()).counts.(counter_index c) else 0
+
+(* ------------------------------------------------------------------ *)
+(* Task sharding                                                       *)
+
+type delta = acc option
+
+let no_delta : delta = None
+
+let[@cts.guarded "domain-local"] task_enter () =
+  if not !enabled_flag then false
+  else begin
+    let s = Domain.DLS.get stack in
+    s := make_acc () :: !s;
+    true
+  end
+
+let[@cts.guarded "domain-local"] task_leave entered =
+  if not entered then no_delta
+  else begin
+    let s = Domain.DLS.get stack in
+    match !s with
+    | top :: (_ :: _ as rest) ->
+        s := rest;
+        Some top
+    | _ -> no_delta (* unbalanced: never pop a domain's base accumulator *)
+  end
+
+let[@cts.guarded "domain-local"] task_absorb = function
+  | None -> ()
+  | Some (d : acc) ->
+      let a = current () in
+      for i = 0 to n_counters - 1 do
+        a.counts.(i) <- a.counts.(i) + d.counts.(i)
+      done;
+      Hashtbl.iter
+        (fun key v ->
+          let prev =
+            match Hashtbl.find_opt a.hists key with Some x -> x | None -> 0
+          in
+          Hashtbl.replace a.hists key (prev + v))
+        d.hists
+
+(* ------------------------------------------------------------------ *)
+(* Phases                                                              *)
+
+type span = { span_name : string; t_start : float; t_stop : float }
+
+(* Newest first; guarded so nested pool coordinators could time phases
+   concurrently without corrupting the list. *)
+let spans : span list ref = ref []
+let spans_mutex = Mutex.create ()
+
+let[@cts.guarded "mutex"] record_span s =
+  Mutex.lock spans_mutex;
+  spans := s :: !spans;
+  Mutex.unlock spans_mutex
+
+let[@cts.guarded "mutex"] clear_spans () =
+  Mutex.lock spans_mutex;
+  spans := [];
+  Mutex.unlock spans_mutex
+
+let[@cts.guarded "mutex"] read_spans () =
+  Mutex.lock spans_mutex;
+  let sp = List.rev !spans in
+  Mutex.unlock spans_mutex;
+  sp
+
+let phase name f =
+  if not !enabled_flag then f ()
+  else begin
+    let t_start = Clock.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        record_span { span_name = name; t_start; t_stop = Clock.now () })
+      f
+  end
+
+let[@cts.guarded "domain-local"] reset () =
+  let a = current () in
+  Array.fill a.counts 0 n_counters 0;
+  Hashtbl.reset a.hists;
+  clear_spans ()
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot and export                                                 *)
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * (int * int) list) list;
+  spans : span list;
+}
+
+let snapshot () =
+  let a = current () in
+  let counters =
+    List.map
+      (fun c -> (counter_name c, a.counts.(counter_index c)))
+      all_counters
+  in
+  let histograms =
+    List.map
+      (fun h ->
+        let hi = histogram_index h in
+        let buckets =
+          Hashtbl.fold
+            (fun (i, bucket) v l -> if i = hi then (bucket, v) :: l else l)
+            a.hists []
+        in
+        (histogram_name h, List.sort compare buckets))
+      all_histograms
+  in
+  { counters; histograms; spans = read_spans () }
+
+let summary snap =
+  let b = Buffer.create 1024 in
+  let width =
+    List.fold_left
+      (fun w (s : span) -> Int.max w (String.length s.span_name))
+      (List.fold_left
+         (fun w (name, _) -> Int.max w (String.length name))
+         (String.length "counter") snap.counters)
+      snap.spans
+  in
+  Buffer.add_string b (Printf.sprintf "%-*s %12s\n" width "counter" "value");
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b (Printf.sprintf "%-*s %12d\n" width name v))
+    snap.counters;
+  List.iter
+    (fun (name, buckets) ->
+      if buckets <> [] then begin
+        Buffer.add_string b (Printf.sprintf "histogram %s:" name);
+        List.iter
+          (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %d:%d" k v))
+          buckets;
+        Buffer.add_char b '\n'
+      end)
+    snap.histograms;
+  if snap.spans <> [] then begin
+    let t0 =
+      List.fold_left
+        (fun t (s : span) -> Float.min t s.t_start)
+        infinity snap.spans
+    in
+    Buffer.add_string b
+      (Printf.sprintf "%-*s %12s %12s\n" width "phase" "start ms" "dur ms");
+    List.iter
+      (fun (s : span) ->
+        Buffer.add_string b
+          (Printf.sprintf "%-*s %12.3f %12.3f\n" width s.span_name
+             ((s.t_start -. t0) *. 1e3)
+             ((s.t_stop -. s.t_start) *. 1e3)))
+      snap.spans
+  end;
+  Buffer.contents b
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let trace_json snap =
+  (* Trace timestamps are microseconds from the earliest span start. *)
+  let t0 =
+    List.fold_left
+      (fun t (s : span) -> Float.min t s.t_start)
+      infinity snap.spans
+  in
+  let us t = if snap.spans = [] then 0. else (t -. t0) *. 1e6 in
+  let events = ref [] in
+  let add e = events := e :: !events in
+  List.iter
+    (fun (s : span) ->
+      add
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"cts\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1}"
+           (json_escape s.span_name) (us s.t_start)
+           (Float.max 0. (s.t_stop -. s.t_start) *. 1e6)))
+    snap.spans;
+  add
+    (Printf.sprintf
+       "{\"name\":\"counters\",\"cat\":\"cts\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":1,\"args\":{%s}}"
+       (String.concat ","
+          (List.map
+             (fun (name, v) -> Printf.sprintf "\"%s\":%d" (json_escape name) v)
+             snap.counters)));
+  List.iter
+    (fun (name, buckets) ->
+      if buckets <> [] then
+        add
+          (Printf.sprintf
+             "{\"name\":\"hist.%s\",\"cat\":\"cts\",\"ph\":\"I\",\"s\":\"g\",\"ts\":0,\"pid\":1,\"tid\":1,\"args\":{%s}}"
+             (json_escape name)
+             (String.concat ","
+                (List.map
+                   (fun (k, v) -> Printf.sprintf "\"%d\":%d" k v)
+                   buckets))))
+    snap.histograms;
+  "[\n " ^ String.concat ",\n " (List.rev !events) ^ "\n]\n"
+
+let write_trace path snap =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (trace_json snap))
+
+let validate_trace = Obs_json.validate_trace

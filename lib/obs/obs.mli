@@ -1,0 +1,156 @@
+(** Deterministic observability: typed counters, histograms and phase
+    timers for the synthesis hot paths, with export as a summary table
+    and as Chrome trace-event JSON.
+
+    {b Determinism contract.} The layer is measurement-only: no counter,
+    histogram or timer value ever feeds back into a synthesis decision,
+    so the synthesized tree is bit-identical whether the layer is
+    enabled or not. Counter storage is domain-sharded: each domain owns
+    a stack of accumulators in domain-local storage, whose bottom
+    element on the main domain holds the process totals.
+    {!Parallel.map} brackets every pool task with {!task_enter} /
+    {!task_leave} and absorbs the resulting {!delta}s into the caller in
+    task-index order — the same discipline as the merge replay log of
+    PR 1 — so a parallel run reports counts identical to a sequential
+    run on the same input. (Counts are integers, so absorption order
+    cannot even introduce rounding differences; the ordering is kept to
+    mirror the replay-log pattern and keep the contract uniform.)
+
+    {b Overhead.} Disabled (the default), every recording entry point
+    checks one [bool ref] and returns — instrumented hot loops pay a
+    single predictable branch and no allocation.
+
+    {b Wall-clock.} Phase timers read time exclusively through
+    {!Clock} ([lib/obs/obs_clock.ml]), the one sanctioned wall-clock
+    site under [lib/] outside report/bench (lint rule L3).
+
+    Domain-safety: counter accumulators live in domain-local storage
+    (never shared between domains); cross-domain merging happens only
+    through {!task_leave}/{!task_absorb} delta hand-off on the
+    coordinator, and the phase-span log sits behind a mutex. *)
+
+module Clock : sig
+  val now : unit -> float
+  (** See {!Obs_clock.now}. *)
+end
+
+(** {1 Counter taxonomy} *)
+
+type counter =
+  | Maze_selects  (** Bi-directional maze scans ({!Maze.select} calls). *)
+  | Maze_bins_evaluated  (** Grid bins evaluated across all maze scans. *)
+  | Eval_cache_hits  (** Maze per-side eval-cache hits. *)
+  | Eval_cache_misses  (** Maze per-side eval-cache misses. *)
+  | Snake_stages  (** Balance-stage snaking iterations. *)
+  | Bisection_iters  (** Binary-search timing evaluations. *)
+  | Merges_routed  (** Merge-routing invocations (incl. explored ones). *)
+  | Placer_adjusted  (** Buffer positions moved off a blockage. *)
+  | Placer_infeasible  (** Runs with no legal buffer position left. *)
+  | Run_evals  (** Slew-driven run analyses ({!Run.eval} calls). *)
+  | Run_buffers_placed  (** Buffers planted by run analyses. *)
+  | Span_cache_hits  (** {!Run.span} memo hits. *)
+  | Span_cache_misses  (** {!Run.span} memo misses (one per distinct key). *)
+  | Delay_evals_single  (** Single-wire delay-library lookups. *)
+  | Delay_evals_branch  (** Branch delay-library lookups. *)
+  | Char_sims  (** Characterization transient simulations. *)
+  | Timing_stages  (** Stage analyses ({!Timing.analyze_stage}). *)
+  | Timing_analyses  (** Whole-region analyses ({!Timing.analyze_driven}). *)
+  | Topology_edge_costs  (** Eq. 4.1 edge-cost evaluations. *)
+  | Topology_pairings  (** Pairs produced by level pairing. *)
+
+type histogram =
+  | Buffers_per_level  (** Buffers committed per merge level. *)
+  | Merges_per_level  (** Merges committed per merge level. *)
+
+val counter_name : counter -> string
+(** Stable dotted identifier (["maze.bins_evaluated"], ...) used by the
+    summary table and trace export. *)
+
+val histogram_name : histogram -> string
+
+val all_counters : counter list
+(** Every counter, in the fixed reporting order. *)
+
+(** {1 Enabling} *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off (default off). Toggle from the main domain
+    while no pool job is in flight. *)
+
+val enabled : unit -> bool
+
+(** {1 Recording} *)
+
+val incr : ?n:int -> counter -> unit
+(** Add [n] (default 1) to a counter in the current domain's active
+    accumulator. No-op when disabled. *)
+
+val hist_add : histogram -> bucket:int -> int -> unit
+(** Add to one histogram bucket. No-op when disabled or the amount is
+    zero. *)
+
+val read : counter -> int
+(** Current value in the calling domain's active accumulator — on the
+    main domain outside any task, the absorbed process total. 0 when
+    disabled. *)
+
+val reset : unit -> unit
+(** Zero the calling domain's active accumulator and drop all recorded
+    phase spans. *)
+
+(** {1 Task sharding (used by [Parallel.map])} *)
+
+type delta
+(** The increments one pool task recorded, detached from any domain. *)
+
+val no_delta : delta
+
+val task_enter : unit -> bool
+(** Push a task-private accumulator on the calling domain's stack.
+    Returns whether one was pushed (false when the layer is disabled);
+    pass the result to {!task_leave}. *)
+
+val task_leave : bool -> delta
+(** Pop the task-private accumulator and return its content as a delta
+    ({!no_delta} when {!task_enter} pushed nothing). *)
+
+val task_absorb : delta -> unit
+(** Fold a task's delta into the calling domain's active accumulator.
+    The pool calls this in task-index order after the job completes. *)
+
+(** {1 Phases} *)
+
+type span = { span_name : string; t_start : float; t_stop : float }
+(** One timed phase (seconds, {!Clock} timebase). *)
+
+val phase : string -> (unit -> 'a) -> 'a
+(** [phase name f] runs [f] and, when enabled, records a wall-clock span
+    around it (also on exceptions). Nesting and repetition are fine;
+    spans are logged in completion order. *)
+
+(** {1 Export} *)
+
+type snapshot = {
+  counters : (string * int) list;  (** In {!all_counters} order. *)
+  histograms : (string * (int * int) list) list;
+      (** [(bucket, value)] pairs sorted by bucket. *)
+  spans : span list;  (** Completion order. *)
+}
+
+val snapshot : unit -> snapshot
+(** Freeze the calling domain's active accumulator and the span log. *)
+
+val summary : snapshot -> string
+(** Human-readable table: counters, non-empty histograms, phase timings. *)
+
+val trace_json : snapshot -> string
+(** Chrome trace-event JSON (load in [chrome://tracing] or Perfetto):
+    one ["X"] complete event per phase span, one ["C"] counter event,
+    one ["I"] instant event per non-empty histogram. *)
+
+val write_trace : string -> snapshot -> unit
+(** Write {!trace_json} to a file. *)
+
+val validate_trace : string -> (int, string) result
+(** See {!Obs_json.validate_trace}: check a trace string and return the
+    event count. *)

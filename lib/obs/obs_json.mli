@@ -1,0 +1,31 @@
+(** Minimal JSON reader used to validate emitted trace files.
+
+    The repository deliberately has no JSON dependency; the trace writer
+    in {!Obs} hand-rolls its output, and this module is the independent
+    check that what it wrote is well-formed (used by
+    [cts_run trace-check] and [make trace-smoke]). It is a strict
+    recursive-descent parser over the full value grammar — objects,
+    arrays, strings with escapes, numbers, [true]/[false]/[null] — not a
+    trace-specific scanner, so it also catches quoting and nesting bugs
+    a regex check would miss.
+
+    Domain-safety: parsing uses call-local state only; safe from any
+    domain. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value spanning the whole input (trailing whitespace
+    allowed). [Error msg] pinpoints the byte offset of the first
+    problem. *)
+
+val validate_trace : string -> (int, string) result
+(** Check that the input is a Chrome trace-event JSON array: a top-level
+    array whose elements are objects each carrying string ["name"] and
+    ["ph"] members. Returns the event count. *)

@@ -151,21 +151,33 @@ let with_pool ?size f =
 (* ------------------------------------------------------------------ *)
 (* Map / iter                                                          *)
 
+(* Observability sharding: each task runs inside an [Obs.task_enter] /
+   [Obs.task_leave] bracket so its counter increments land in a
+   task-private accumulator on whatever domain picked it up; the deltas
+   are absorbed into the caller in task-index order after the job — the
+   same replay-in-order discipline Cts.synthesize uses for its merge
+   logs — so counter totals are identical at every pool size. On the
+   sequential fast path tasks increment the caller's accumulator
+   directly, which yields the same totals. *)
 let map pool f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else if n = 1 || size pool <= 1 then Array.map f arr
   else begin
     let results = Array.make n None in
+    let deltas = Array.make n Obs.no_delta in
     let error = Atomic.make None in
     let run i =
-      match f arr.(i) with
+      let entered = Obs.task_enter () in
+      (match f arr.(i) with
       | v -> results.(i) <- Some v
       | exception e ->
           let bt = Printexc.get_raw_backtrace () in
-          ignore (Atomic.compare_and_set error None (Some (e, bt)))
+          ignore (Atomic.compare_and_set error None (Some (e, bt))));
+      deltas.(i) <- Obs.task_leave entered
     in
     run_job pool { run; n; next = Atomic.make 0; completed = Atomic.make 0 };
+    Array.iter Obs.task_absorb deltas;
     match Atomic.get error with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None ->

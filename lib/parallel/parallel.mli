@@ -16,6 +16,12 @@
     {!Cts.synthesize} keeps parallel and sequential synthesis
     bit-identical.
 
+    {b Observability}: {!map} brackets every task with
+    [Obs.task_enter]/[Obs.task_leave] and absorbs the per-task counter
+    deltas into the caller in task-index order, so [Obs] counter totals
+    are identical at every pool size (integers — order is kept for
+    uniformity with the replay-log discipline above).
+
     {b Exception contract}: if one or more tasks raise, every task of the
     job still runs to completion (or raises), the first captured
     exception is re-raised in the caller with its backtrace, and the pool

@@ -1,0 +1,51 @@
+let hist_buckets snap name =
+  match List.assoc_opt name snap.Obs.histograms with
+  | Some buckets -> buckets
+  | None -> []
+
+(* Wall-clock spent in phases named "level N", summed per level. *)
+let level_ms snap =
+  List.filter_map
+    (fun (s : Obs.span) ->
+      match String.index_opt s.Obs.span_name ' ' with
+      | Some i when String.sub s.Obs.span_name 0 i = "level" -> (
+          match
+            int_of_string_opt
+              (String.sub s.Obs.span_name (i + 1)
+                 (String.length s.Obs.span_name - i - 1))
+          with
+          | Some lvl -> Some (lvl, (s.Obs.t_stop -. s.Obs.t_start) *. 1e3)
+          | None -> None)
+      | _ -> None)
+    snap.Obs.spans
+
+let levels_table snap =
+  let merges = hist_buckets snap "merges_per_level" in
+  let buffers = hist_buckets snap "buffers_per_level" in
+  let ms = level_ms snap in
+  let levels =
+    List.sort_uniq Int.compare
+      (List.map fst merges @ List.map fst buffers @ List.map fst ms)
+  in
+  if levels = [] then ""
+  else
+    let sum_ms lvl =
+      List.fold_left
+        (fun acc (l, m) -> if l = lvl then acc +. m else acc)
+        0. ms
+    in
+    let count buckets lvl =
+      match List.assoc_opt lvl buckets with Some n -> n | None -> 0
+    in
+    let rows =
+      List.map
+        (fun lvl ->
+          [
+            string_of_int lvl;
+            string_of_int (count merges lvl);
+            string_of_int (count buffers lvl);
+            Printf.sprintf "%.1f" (sum_ms lvl);
+          ])
+        levels
+    in
+    Tables.render ~header:[ "level"; "merges"; "buffers"; "ms" ] rows

@@ -1,0 +1,17 @@
+(** Per-level synthesis progress rendered from an {!Obs} snapshot.
+
+    {!Cts.synthesize} brackets each merge level in an [Obs.phase]
+    named ["level N"] and feeds the per-level merge/buffer counts into
+    the [merges_per_level] / [buffers_per_level] histograms (bucket =
+    level number). This module turns that raw material into the
+    column-aligned table the CLI prints under [--stats].
+
+    Domain-safety: pure rendering over an immutable snapshot; uses a
+    call-local buffer only. *)
+
+val levels_table : Obs.snapshot -> string
+(** A table with one row per synthesis level — merges routed, buffers
+    inserted, and wall-clock spent in that level's phase (summed over
+    repeated spans of the same name, in milliseconds). Returns [""]
+    when the snapshot holds no per-level data (observability disabled,
+    or nothing synthesized). *)

@@ -6,6 +6,7 @@ type pairing = { pairs : (int * int) list; seed : int option }
 let default_beta = 4e13
 
 let edge_cost ?(alpha = 1.) ?(beta = default_beta) a b =
+  Obs.incr Obs.Topology_edge_costs;
   (alpha *. Point.manhattan a.pos b.pos)
   +. (beta *. Float.abs (a.delay -. b.delay))
 
@@ -52,6 +53,7 @@ let level_pairing ?(alpha = 1.) ?(beta = default_beta) ~centroid items =
     let m = !near in
     alive.(m) <- false;
     remaining := !remaining - 2;
+    Obs.incr Obs.Topology_pairings;
     pairs := (f, m) :: !pairs
   done;
   { pairs = List.rev !pairs; seed }

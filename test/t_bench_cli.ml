@@ -44,6 +44,18 @@ let test_parallel_bench_flag () =
   | Ok o -> Alcotest.(check bool) "flag" true o.Cli.parallel_bench
   | Error e -> Alcotest.fail e
 
+let test_obs_flags () =
+  (match parse [ "--stats"; "--trace"; "out.json" ] with
+  | Ok o ->
+      Alcotest.(check bool) "stats" true o.Cli.stats;
+      Alcotest.(check (option string)) "trace" (Some "out.json") o.Cli.trace
+  | Error e -> Alcotest.fail e);
+  match parse [] with
+  | Ok o ->
+      Alcotest.(check bool) "stats off by default" false o.Cli.stats;
+      Alcotest.(check (option string)) "no trace by default" None o.Cli.trace
+  | Error e -> Alcotest.fail e
+
 let test_usage_lists_experiments () =
   let u = Cli.usage ~known in
   List.iter
@@ -56,6 +68,7 @@ let suite =
     Alcotest.test_case "defaults" `Quick test_defaults;
     Alcotest.test_case "good arguments" `Quick test_good_args;
     Alcotest.test_case "--parallel-bench" `Quick test_parallel_bench_flag;
+    Alcotest.test_case "--stats and --trace" `Quick test_obs_flags;
     Alcotest.test_case "usage lists experiments" `Quick
       test_usage_lists_experiments;
     check_error "unknown --profile value is rejected"
@@ -64,6 +77,7 @@ let suite =
     check_error "non-float --scale" [ "--scale"; "abc" ] "abc";
     check_error "--scale without value" [ "--scale" ] "--scale";
     check_error "non-positive --scale" [ "--scale"; "-1" ] "positive";
+    check_error "--trace without value" [ "--trace" ] "--trace";
     check_error "unknown experiment" [ "tab9.9" ] "tab9.9";
     check_error "unknown option" [ "--frobnicate" ] "--frobnicate";
   ]

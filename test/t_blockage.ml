@@ -66,7 +66,7 @@ let run_eval_respects_place () =
   let cfg = Cts_config.default dl in
   let port = Port.of_sink { Sinks.name = "b"; pos = P.origin; cap = 10e-15 } in
   (* A placement function that forbids [600, 800] along the run. *)
-  let place ~cur:_ d = if d >= 600. && d <= 800. then 599. else d in
+  let place ~cur:_ d = Some (if d >= 600. && d <= 800. then 599. else d) in
   let e = Run.eval ~place dl cfg port 2500. in
   List.iter
     (fun (p : Run.placed) ->

@@ -22,7 +22,8 @@ let l1_message prim =
   Printf.sprintf
     "%s writes shared state reachable from a Parallel pool task; annotate \
      the enclosing definition with [@cts.guarded \
-     \"replay-log\"|\"mutex\"|\"atomic\"] or keep the target task-local"
+     \"replay-log\"|\"mutex\"|\"atomic\"|\"domain-local\"] or keep the \
+     target task-local"
     prim
 
 let test_l1_shared () =
@@ -55,6 +56,14 @@ let test_l1_guarded () =
         "let tbl = Hashtbl.create 7\n\
          let[@cts.guarded \"mutex\"] put x = Hashtbl.replace tbl x x\n\
          let work pool xs = Parallel.map pool (fun x -> put x) xs\n" );
+    ];
+  check_diags "domain-local is an accepted mechanism" []
+    [
+      ( "lib/foo/foo.ml",
+        "let key = Domain.DLS.new_key (fun () -> ref 0)\n\
+         let[@cts.guarded \"domain-local\"] bump () =\n\
+        \  incr (Domain.DLS.get key)\n\
+         let work pool xs = Parallel.iter pool (fun _ -> bump ()) xs\n" );
     ]
 
 let test_l1_reachability () =
@@ -128,11 +137,19 @@ let test_l3 () =
   check_diags "wall-clock in lib/ is flagged"
     [
       "lib/cts_core/t.ml:1:13: [L3] wall-clock call Unix.gettimeofday in \
-       lib/ (allowed only under lib/report and lib/bench)";
+       lib/ (allowed only under lib/report, lib/bench and Obs.Clock)";
     ]
     [ ("lib/cts_core/t.ml", src) ];
   check_diags "lib/report is exempt" [] [ ("lib/report/r.ml", src) ];
   check_diags "lib/bench is exempt" [] [ ("lib/bench/b.ml", src) ];
+  check_diags "the Obs clock gateway is exempt" []
+    [ ("lib/obs/obs_clock.ml", src) ];
+  check_diags "the rest of lib/obs is not"
+    [
+      "lib/obs/obs.ml:1:13: [L3] wall-clock call Unix.gettimeofday in \
+       lib/ (allowed only under lib/report, lib/bench and Obs.Clock)";
+    ]
+    [ ("lib/obs/obs.ml", src) ];
   check_diags "bin/ is out of scope" [] [ ("bin/b.ml", src) ]
 
 (* ----------------------------- L4 --------------------------------- *)

@@ -1,0 +1,237 @@
+(* The observability layer (lib/obs) and the three hot-path bugfixes it
+   instruments: the maze eval-cache key quantization, the grid-bin cap
+   clamp order, and the placer's no-legal-position fallback. Plus the
+   determinism contract: counter snapshots are identical at any pool
+   size, and an enabled layer never perturbs the synthesized tree. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+(* --------------------- maze.cache_key rounding --------------------- *)
+
+let test_cache_key () =
+  checki "10.0 um is cell 100" 100 (Maze.cache_key 10.0);
+  (* Round-to-nearest: lengths within 0.05 um of the same 0.1 um cell
+     alias; the old truncation split 9.96/10.04 (99 vs 100)... *)
+  checki "9.96 and 10.04 share a cell" (Maze.cache_key 9.96)
+    (Maze.cache_key 10.04);
+  (* ...while lumping a full 0.1 um of lengths below an integer cell. *)
+  checkb "9.94 is a different cell than 9.96" true
+    (Maze.cache_key 9.94 <> Maze.cache_key 9.96);
+  checki "quantization is symmetric around zero"
+    (-Maze.cache_key 0.06)
+    (Maze.cache_key (-0.06))
+
+(* ----------------------- bins_for clamp order ---------------------- *)
+
+let test_bins_for_cap () =
+  let dl = T_env.get_dl () in
+  let cfg = Cts_config.default dl in
+  checki "short span keeps the initial grid" cfg.Cts_config.grid_bins
+    (Maze.bins_for cfg 600.);
+  checki "long span saturates at the cap" cfg.Cts_config.max_grid_bins
+    (Maze.bins_for cfg 1e6);
+  (* Invalid config (grid_bins beyond the cap): synthesis rejects it,
+     but if bins_for is reached anyway the cap must still bind — the
+     old clamp order returned grid_bins (200) here. *)
+  let bad = { cfg with Cts_config.grid_bins = 200; max_grid_bins = 100 } in
+  checki "cap binds even against grid_bins" 100 (Maze.bins_for bad 600.)
+
+let test_config_validation () =
+  let dl = T_env.get_dl () in
+  let cfg = Cts_config.default dl in
+  Alcotest.(check (list string)) "default config is valid" []
+    (Cts_config.validate cfg);
+  let bad = { cfg with Cts_config.grid_bins = 200; max_grid_bins = 100 } in
+  checkb "inverted grid bounds are reported" true
+    (Cts_config.validate bad <> []);
+  let specs = T_env.random_sinks ~seed:7 ~n:6 ~die:2000. () in
+  match Cts.synthesize ~config:bad dl specs with
+  | _ -> Alcotest.fail "synthesize accepted an invalid config"
+  | exception Invalid_argument msg ->
+      checkb "the rejection names the offending field" true
+        (contains msg "max_grid_bins")
+
+(* ------------------- placer infeasibility fallback ----------------- *)
+
+let test_placer_infeasible () =
+  let path =
+    Lpath.make { Geometry.Point.x = 0.; y = 0. }
+      { Geometry.Point.x = 1000.; y = 0. }
+  in
+  (* Blockage covering the path from 390 um through past its end: no
+     legal position remains at or beyond the ideal spot, and sliding
+     down gains no ground over cur. The old fallback returned
+     length +. 1., which clamped to the path end — inside the macro. *)
+  let wall = [ Geometry.Bbox.make 390. (-50.) 1100. 50. ] in
+  (match Merge_routing.placer wall path ~cur:398. 600. with
+  | None -> ()
+  | Some d -> Alcotest.failf "expected infeasible, got a position at %.1f" d);
+  (* A finite macro is escapable: the result must be a legal point. *)
+  let macro = [ Geometry.Bbox.make 390. (-50.) 500. 50. ] in
+  match Merge_routing.placer macro path ~cur:0. 450. with
+  | Some d ->
+      checkb "legalized position is blockage-free" true
+        (Blockage.legal macro (Lpath.point_at path d))
+  | None -> Alcotest.fail "escapable macro reported infeasible"
+
+(* ----------------------- counter store basics ---------------------- *)
+
+let with_obs f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+
+let test_obs_enable_disable () =
+  Obs.set_enabled false;
+  Obs.reset ();
+  Obs.incr Obs.Maze_selects;
+  with_obs (fun () ->
+      checki "disabled increments are dropped" 0 (Obs.read Obs.Maze_selects);
+      Obs.incr ~n:3 Obs.Maze_selects;
+      checki "enabled increments land" 3 (Obs.read Obs.Maze_selects);
+      Obs.hist_add Obs.Buffers_per_level ~bucket:2 5;
+      let snap = Obs.snapshot () in
+      checkb "histogram bucket recorded" true
+        (List.assoc "buffers_per_level" snap.Obs.histograms = [ (2, 5) ]);
+      Obs.reset ();
+      checki "reset clears counters" 0 (Obs.read Obs.Maze_selects))
+
+let test_phase_and_trace () =
+  with_obs (fun () ->
+      let v =
+        Obs.phase "unit-test" (fun () ->
+            Obs.incr Obs.Maze_selects;
+            41 + 1)
+      in
+      checki "phase returns the body's value" 42 v;
+      let snap = Obs.snapshot () in
+      checkb "span recorded" true
+        (List.exists
+           (fun (s : Obs.span) -> s.Obs.span_name = "unit-test")
+           snap.Obs.spans);
+      checkb "summary names the counters" true
+        (contains (Obs.summary snap) "maze.selects");
+      match Obs.validate_trace (Obs.trace_json snap) with
+      | Ok n -> checkb "span + counter events present" true (n >= 2)
+      | Error e -> Alcotest.fail ("self-produced trace rejected: " ^ e))
+
+let test_trace_validator_rejects () =
+  (match Obs.validate_trace "{\"name\":\"x\",\"ph\":\"X\"}" with
+  | Ok _ -> Alcotest.fail "top-level object accepted"
+  | Error _ -> ());
+  (match Obs.validate_trace "[{\"name\":\"x\"}]" with
+  | Ok _ -> Alcotest.fail "event without ph accepted"
+  | Error _ -> ());
+  (match Obs.validate_trace "[{\"name\":\"x\",\"ph\":\"X\"}" with
+  | Ok _ -> Alcotest.fail "truncated input accepted"
+  | Error _ -> ());
+  match Obs.validate_trace "[{\"name\":\"x\",\"ph\":\"X\"}] trailing" with
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+  | Error _ -> ()
+
+(* ------------------ observing must not perturb --------------------- *)
+
+let test_enabled_run_identical_and_counted () =
+  let dl = T_env.get_dl () in
+  let specs = T_env.random_sinks ~seed:42 ~n:12 ~die:3000. () in
+  Obs.set_enabled false;
+  Run.reset_span_cache ();
+  let plain = Cts.synthesize dl specs in
+  Run.reset_span_cache ();
+  let observed, snap =
+    with_obs (fun () ->
+        let r = Cts.synthesize dl specs in
+        (r, Obs.snapshot ()))
+  in
+  checkb "observability does not perturb the tree" true
+    (Ctree_netlist.to_deck T_env.tech plain.Cts.tree
+    = Ctree_netlist.to_deck T_env.tech observed.Cts.tree);
+  let c name = List.assoc name snap.Obs.counters in
+  checkb "maze bins were counted" true (c "maze.bins_evaluated" > 0);
+  checki "each evaluated bin evaluates both sides"
+    (2 * c "maze.bins_evaluated")
+    (c "maze.eval_cache_hits" + c "maze.eval_cache_misses");
+  checki "a binary tree routes sinks-1 merges"
+    (List.length specs - 1)
+    (c "merge.merges_routed");
+  let hist name = List.assoc name snap.Obs.histograms in
+  let total l = List.fold_left (fun a (_, v) -> a + v) 0 l in
+  checki "buffer histogram sums to the result's count"
+    observed.Cts.inserted_buffers
+    (total (hist "buffers_per_level"));
+  checki "merge histogram sums to all merges"
+    (List.length specs - 1)
+    (total (hist "merges_per_level"));
+  checkb "per-level phases were timed" true
+    (List.exists
+       (fun (s : Obs.span) -> s.Obs.span_name = "level 1")
+       snap.Obs.spans)
+
+(* -------------- schedule-independence of the counters -------------- *)
+
+let descriptor_gen =
+  QCheck.Gen.(
+    let* n = int_range 3 40 in
+    let* die_k = int_range 2 10 in
+    let* cluster = int_range 0 2 in
+    let+ salt = int_range 0 1000 in
+    {
+      Bmark.Synthetic.name = Printf.sprintf "obs%d_%d" n salt;
+      n_sinks = n;
+      die = float_of_int die_k *. 1000.;
+      cap_lo = 5e-15;
+      cap_hi = 30e-15;
+      cluster_fraction = float_of_int cluster /. 2.;
+    })
+
+let descriptor_arb =
+  QCheck.make descriptor_gen ~print:(fun d ->
+      Printf.sprintf "%s (%d sinks, die %.0f, cluster %.1f)"
+        d.Bmark.Synthetic.name d.Bmark.Synthetic.n_sinks d.Bmark.Synthetic.die
+        d.Bmark.Synthetic.cluster_fraction)
+
+let qcheck_counters_schedule_independent =
+  QCheck.Test.make
+    ~name:"obs: counter snapshot identical at pool sizes 1 and 4" ~count:6
+    descriptor_arb (fun d ->
+      let dl = T_env.get_dl () in
+      let specs = Bmark.Synthetic.sinks d in
+      let cfg =
+        Cts_config.with_hstructure (Cts_config.default dl)
+          Cts_config.H_reestimate
+      in
+      let snap_at size =
+        Parallel.with_pool ~size (fun p ->
+            Run.reset_span_cache ();
+            with_obs (fun () ->
+                ignore (Cts.synthesize ~config:cfg ~pool:p dl specs);
+                Obs.snapshot ()))
+      in
+      let s1 = snap_at 1 in
+      let s4 = snap_at 4 in
+      s1.Obs.counters = s4.Obs.counters
+      && s1.Obs.histograms = s4.Obs.histograms)
+
+let suite =
+  [
+    Alcotest.test_case "maze cache key rounds to nearest" `Quick test_cache_key;
+    Alcotest.test_case "grid-bin cap clamps last" `Quick test_bins_for_cap;
+    Alcotest.test_case "invalid configs are rejected" `Quick
+      test_config_validation;
+    Alcotest.test_case "placer reports infeasibility" `Quick
+      test_placer_infeasible;
+    Alcotest.test_case "enable/disable/reset" `Quick test_obs_enable_disable;
+    Alcotest.test_case "phases, summary and trace export" `Quick
+      test_phase_and_trace;
+    Alcotest.test_case "trace validator rejects malformed JSON" `Quick
+      test_trace_validator_rejects;
+    Alcotest.test_case "observing perturbs nothing and counts" `Slow
+      test_enabled_run_identical_and_counted;
+    QCheck_alcotest.to_alcotest qcheck_counters_schedule_independent;
+  ]
