@@ -21,6 +21,20 @@ bench-full:
 bench-par:
 	dune exec bench/main.exe -- --profile fast --parallel-bench
 
+# QoR regression gate: synthesize the canonical fast-profile benchmark
+# (writes BENCH_qor.json) and compare it against the committed baseline
+# snapshot. Exit 6 = a gated metric regressed beyond its threshold.
+qor-gate:
+	dune exec bench/main.exe -- --profile fast --qor-bench
+	dune exec bin/cts_run.exe -- compare \
+	  bench/baselines/BENCH_qor_fast.json BENCH_qor.json
+
+# Refresh the committed baseline after an intentional QoR change.
+qor-baseline:
+	dune exec bench/main.exe -- --profile fast --qor-bench
+	cp BENCH_qor.json bench/baselines/BENCH_qor_fast.json
+	@echo "baseline refreshed: bench/baselines/BENCH_qor_fast.json"
+
 # Determinism / domain-safety source lint (rules L1-L5; see DESIGN.md).
 lint:
 	dune build @lint
@@ -42,5 +56,5 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all test test-par bench bench-full bench-par lint trace-smoke \
-        examples clean
+.PHONY: all test test-par bench bench-full bench-par qor-gate qor-baseline \
+        lint trace-smoke examples clean

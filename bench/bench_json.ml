@@ -1,0 +1,91 @@
+(* JSON records for the benchmark harness, via the canonical Obs_json
+   writer. *)
+
+module J = Obs_json
+
+type par_bench = {
+  domains : int;
+  available_cpus : int;
+  profile : string;
+  char_seq_s : float;
+  char_par_s : float;
+  char_identical : bool;
+  sinks : int;
+  syn_seq_s : float;
+  syn_par_s : float;
+  syn_identical : bool;
+}
+
+(* Wall-clock seconds with ms precision; speedup with 3 decimals —
+   matching the precision the old hand-rolled printf emitted. *)
+let r3 x = Float.round (x *. 1e3) /. 1e3
+
+let leg ~seq_s ~par_s ~identical extra =
+  J.Obj
+    (extra
+    @ [
+        ("seq_s", J.Num (r3 seq_s));
+        ("par_s", J.Num (r3 par_s));
+        ("speedup", J.Num (r3 (seq_s /. par_s)));
+        ("identical", J.Bool identical);
+      ])
+
+let par_bench_json p =
+  J.Obj
+    [
+      ("domains", J.Num (float_of_int p.domains));
+      ("available_cpus", J.Num (float_of_int p.available_cpus));
+      ("profile", J.Str p.profile);
+      ( "characterization",
+        leg ~seq_s:p.char_seq_s ~par_s:p.char_par_s
+          ~identical:p.char_identical [] );
+      ( "synthesis",
+        leg ~seq_s:p.syn_seq_s ~par_s:p.syn_par_s ~identical:p.syn_identical
+          [ ("sinks", J.Num (float_of_int p.sinks)) ] );
+    ]
+
+let ( let* ) = Result.bind
+
+let need v ms key check =
+  match List.assoc_opt key ms with
+  | None -> Error (Printf.sprintf "%s.%s missing" v key)
+  | Some x ->
+      if check x then Ok ()
+      else Error (Printf.sprintf "%s.%s has the wrong type" v key)
+
+let is_num = function J.Num _ -> true | _ -> false
+let is_bool = function J.Bool _ -> true | _ -> false
+let is_str = function J.Str _ -> true | _ -> false
+
+let validate_leg name extra v =
+  match v with
+  | J.Obj ms ->
+      let* () = need name ms "seq_s" is_num in
+      let* () = need name ms "par_s" is_num in
+      let* () = need name ms "speedup" is_num in
+      let* () = need name ms "identical" is_bool in
+      List.fold_left
+        (fun acc key ->
+          let* () = acc in
+          need name ms key is_num)
+        (Ok ()) extra
+  | _ -> Error (name ^ " is not an object")
+
+let validate_par_bench = function
+  | J.Obj ms ->
+      let* () = need "par_bench" ms "domains" is_num in
+      let* () = need "par_bench" ms "available_cpus" is_num in
+      let* () = need "par_bench" ms "profile" is_str in
+      let* c =
+        match List.assoc_opt "characterization" ms with
+        | Some c -> Ok c
+        | None -> Error "par_bench.characterization missing"
+      in
+      let* () = validate_leg "characterization" [] c in
+      let* s =
+        match List.assoc_opt "synthesis" ms with
+        | Some s -> Ok s
+        | None -> Error "par_bench.synthesis missing"
+      in
+      validate_leg "synthesis" [ "sinks" ] s
+  | _ -> Error "par_bench document is not an object"

@@ -1,0 +1,26 @@
+(** Structured JSON records the benchmark harness emits
+    ([BENCH_parallel.json]), built as {!Obs_json.t} values and written
+    through the canonical {!Obs_json} writer — so what lands on disk is
+    machine-checkable by the same strict parser [cts_run trace-check]
+    uses, instead of hand-concatenated strings nothing validates. *)
+
+type par_bench = {
+  domains : int;  (** Pool size of the parallel leg. *)
+  available_cpus : int;
+  profile : string;
+  char_seq_s : float;
+  char_par_s : float;
+  char_identical : bool;
+  sinks : int;
+  syn_seq_s : float;
+  syn_par_s : float;
+  syn_identical : bool;
+}
+
+val par_bench_json : par_bench -> Obs_json.t
+(** The [BENCH_parallel.json] document: speedups are computed here so
+    the emitted record can never disagree with its inputs. *)
+
+val validate_par_bench : Obs_json.t -> (unit, string) result
+(** Strict shape check of a parsed [BENCH_parallel.json]: every field
+    present with the right type. Used by the round-trip test. *)

@@ -3,6 +3,7 @@ type opts = {
   profile : Delaylib.profile;
   kernels : bool;
   parallel_bench : bool;
+  qor_bench : bool;
   trace : string option;
   stats : bool;
   help : bool;
@@ -15,6 +16,7 @@ let default =
     profile = Delaylib.Accurate;
     kernels = true;
     parallel_bench = false;
+    qor_bench = false;
     trace = None;
     stats = false;
     help = false;
@@ -24,7 +26,8 @@ let default =
 let usage ~known =
   Printf.sprintf
     "usage: main.exe [--scale F] [--profile fast|accurate] [--no-kernels] \
-     [--parallel-bench] [--stats] [--trace FILE] [experiment ...]\n\
+     [--parallel-bench] [--qor-bench] [--stats] [--trace FILE] \
+     [experiment ...]\n\
      experiments: %s"
     (String.concat " " known)
 
@@ -55,6 +58,7 @@ let parse ~known args =
                  "unknown --profile %S (expected fast or accurate)" v))
     | "--no-kernels" :: rest -> go { acc with kernels = false } rest
     | "--parallel-bench" :: rest -> go { acc with parallel_bench = true } rest
+    | "--qor-bench" :: rest -> go { acc with qor_bench = true } rest
     | "--trace" :: rest -> (
         match rest with
         | [] -> Error "option --trace needs a value (output file)"

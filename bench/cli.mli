@@ -9,6 +9,8 @@ type opts = {
   profile : Delaylib.profile;  (** Characterization profile. *)
   kernels : bool;  (** Run the Bechamel kernel timings. *)
   parallel_bench : bool;  (** Run only the parallel-speedup benchmark. *)
+  qor_bench : bool;
+      (** Run only the canonical QoR benchmark (writes [BENCH_qor.json]). *)
   trace : string option;
       (** Write a Chrome trace-event JSON of the run to this file. *)
   stats : bool;  (** Print observability counters after the run. *)

@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- tab5.1        -- one experiment
      dune exec bench/main.exe -- --scale 1.0   -- full-size benchmarks
      dune exec bench/main.exe -- --profile fast --no-kernels
-     dune exec bench/main.exe -- --profile fast --parallel-bench *)
+     dune exec bench/main.exe -- --profile fast --parallel-bench
+     dune exec bench/main.exe -- --profile fast --qor-bench *)
 
 let () =
   let known = List.map fst Experiments.all in
@@ -32,6 +33,7 @@ let () =
     Obs.set_enabled true
   end;
   if opts.Cli.parallel_bench then Par_bench.run ~profile:opts.Cli.profile ()
+  else if opts.Cli.qor_bench then Qor_bench.run ~profile:opts.Cli.profile ()
   else begin
     let todo =
       match opts.Cli.selected with

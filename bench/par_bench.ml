@@ -59,23 +59,23 @@ let run ~profile () =
     violations;
   Parallel.shutdown p1;
   Parallel.shutdown p4;
-  let oc = open_out out_file in
-  Printf.fprintf oc
-    "{\n\
-    \  \"domains\": %d,\n\
-    \  \"available_cpus\": %d,\n\
-    \  \"profile\": %S,\n\
-    \  \"characterization\": { \"seq_s\": %.3f, \"par_s\": %.3f, \"speedup\": \
-     %.3f, \"identical\": %b },\n\
-    \  \"synthesis\": { \"sinks\": %d, \"seq_s\": %.3f, \"par_s\": %.3f, \
-     \"speedup\": %.3f, \"identical\": %b }\n\
-     }\n"
-    par_domains
-    (Domain.recommended_domain_count ())
-    (match profile with Delaylib.Fast -> "fast" | Delaylib.Accurate -> "accurate")
-    t_char_seq t_char_par (t_char_seq /. t_char_par) char_identical n_sinks
-    t_syn_seq t_syn_par (t_syn_seq /. t_syn_par) syn_identical;
-  close_out oc;
+  Obs_json.write_file out_file
+    (Bench_json.par_bench_json
+       {
+         Bench_json.domains = par_domains;
+         available_cpus = Domain.recommended_domain_count ();
+         profile =
+           (match profile with
+           | Delaylib.Fast -> "fast"
+           | Delaylib.Accurate -> "accurate");
+         char_seq_s = t_char_seq;
+         char_par_s = t_char_par;
+         char_identical;
+         sinks = n_sinks;
+         syn_seq_s = t_syn_seq;
+         syn_par_s = t_syn_par;
+         syn_identical;
+       });
   Printf.printf "  wrote %s\n%!" out_file;
   if not (char_identical && syn_identical) then begin
     print_endline "  DETERMINISM VIOLATION: parallel run differs from sequential";

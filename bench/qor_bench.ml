@@ -1,0 +1,51 @@
+(* Canonical QoR benchmark behind `make qor-gate`: synthesize the same
+   small fixed instance the trace-smoke target uses (r1 at scale 0.05)
+   with observability on, capture a Qor snapshot and write it to
+   BENCH_qor.json for `cts_run compare` against the committed baseline
+   in bench/baselines/.
+
+   Obs is enabled only around synthesis — after the delay library is
+   loaded — so a cold vs. warm characterization cache cannot perturb
+   the counters, and the snapshot stays byte-identical across runs and
+   CTS_DOMAINS values. *)
+
+let out_file = "BENCH_qor.json"
+let bench_name = "r1"
+let bench_scale = 0.05
+
+let run ~profile () =
+  let profile_name =
+    match profile with
+    | Delaylib.Fast -> "fast"
+    | Delaylib.Accurate -> "accurate"
+  in
+  let cache = Printf.sprintf ".cache/delaylib_%s.txt" profile_name in
+  (try
+     if not (Sys.file_exists ".cache") then Unix.mkdir ".cache" 0o755
+   with Unix.Unix_error _ -> ());
+  Printf.printf "=== QoR snapshot (%s, scale %.2f, profile %s) ===\n%!"
+    bench_name bench_scale profile_name;
+  let dl =
+    Delaylib.load_or_characterize ~profile ~cache Circuit.Tech.default
+      Circuit.Buffer_lib.default_library
+  in
+  let d = Bmark.Synthetic.scaled (Bmark.Synthetic.find bench_name) bench_scale in
+  let sinks = Bmark.Synthetic.sinks d in
+  let config = Cts_config.default dl in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let res =
+    Obs.phase "synthesize" (fun () -> Cts.synthesize ~config dl sinks)
+  in
+  let obs = Obs.snapshot () in
+  Obs.set_enabled false;
+  let q =
+    Qor.capture ~label:bench_name ~profile:profile_name ~scale:bench_scale
+      ~obs dl config res
+  in
+  Qor.write_file out_file q;
+  Printf.printf
+    "  %d sinks, %d levels: skew %.1f ps, max latency %.1f ps, %d buffers\n%!"
+    q.Qor.sinks q.Qor.levels q.Qor.skew_ps q.Qor.max_latency_ps
+    q.Qor.buffer_count;
+  Printf.printf "  wrote %s\n%!" out_file

@@ -365,6 +365,122 @@ let experiments_cmd =
       const run $ names_t $ scale_t $ profile_t $ stats_t $ trace_t
       $ domains_t $ verbose_t)
 
+(* ---------------------------- qor --------------------------------- *)
+
+let qor_cmd =
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH"
+          ~doc:"Write the snapshot to this file instead of stdout.")
+  in
+  let runtime_t =
+    Arg.(
+      value & flag
+      & info [ "runtime" ]
+          ~doc:
+            "Include the wall-clock runtime section. Off by default: \
+             runtime is non-deterministic and breaks the byte-identity \
+             guarantee of the snapshot (compare ignores it either way).")
+  in
+  let slew_limit_t =
+    Arg.(
+      value & opt float 100.
+      & info [ "slew-limit" ] ~docv:"PS" ~doc:"Slew limit in picoseconds.")
+  in
+  let run bench file format scale profile cache slew_limit out with_runtime
+      domains verbose =
+    setup_logs verbose;
+    setup_domains domains;
+    let t0 = Unix.gettimeofday () in
+    let dl = load_dl profile cache in
+    let sinks = sinks_of ~bench ~file ~format ~scale in
+    let config =
+      {
+        (Cts_config.default dl) with
+        Cts_config.slew_limit = slew_limit *. 1e-12;
+        slew_target = 0.8 *. slew_limit *. 1e-12;
+      }
+    in
+    (* Observability is scoped to synthesis alone — after the library
+       load — so a cold vs. warm characterization cache cannot perturb
+       the deterministic counter totals in the snapshot. *)
+    Obs.reset ();
+    Obs.set_enabled true;
+    let res = Obs.phase "synthesize" (fun () -> Cts.synthesize ~config dl sinks) in
+    let obs = Obs.snapshot () in
+    Obs.set_enabled false;
+    let runtime =
+      if with_runtime then
+        Some (Qor.runtime_of_obs ~wall_s:(Unix.gettimeofday () -. t0) obs)
+      else None
+    in
+    let label =
+      match (bench, file) with
+      | Some name, _ -> name
+      | None, Some path -> Filename.basename path
+      | None, None -> "unnamed"
+    in
+    let profile_name =
+      match profile with Delaylib.Fast -> "fast" | Delaylib.Accurate -> "accurate"
+    in
+    let q =
+      Qor.capture ~label ~profile:profile_name ~scale ~obs ?runtime dl config
+        res
+    in
+    match out with
+    | Some path ->
+        Qor.write_file path q;
+        Printf.printf "QoR snapshot written to %s\n" path
+    | None -> print_string (Qor.render q)
+  in
+  Cmd.v
+    (Cmd.info "qor"
+       ~doc:
+         "Synthesize and emit a versioned QoR snapshot (JSON). \
+          Deterministic: byte-identical at any --domains value.")
+    Term.(
+      const run $ bench_t $ file_t $ format_t $ scale_t $ profile_t $ cache_t
+      $ slew_limit_t $ out_t $ runtime_t $ domains_t $ verbose_t)
+
+(* -------------------------- compare ------------------------------- *)
+
+let compare_cmd =
+  let baseline_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline QoR snapshot (JSON).")
+  in
+  let candidate_t =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CANDIDATE" ~doc:"Candidate QoR snapshot (JSON).")
+  in
+  let run base_path cand_path =
+    let load path =
+      match Qor.load_file path with
+      | Ok q -> q
+      | Error msg ->
+          Printf.eprintf "cts_run: %s\n" msg;
+          exit 2
+    in
+    let baseline = load base_path in
+    let candidate = load cand_path in
+    let rep = Qor_compare.compare_snapshots ~baseline candidate in
+    print_string (Qor_compare.render rep);
+    exit (Qor_compare.exit_code rep)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Compare two QoR snapshots metric by metric. Exits 6 when any \
+          gated metric regressed beyond its threshold, 2 when a \
+          snapshot cannot be read.")
+    Term.(const run $ baseline_t $ candidate_t)
+
 (* ------------------------- trace-check ---------------------------- *)
 
 let trace_check_cmd =
@@ -406,5 +522,7 @@ let () =
             synth_cmd;
             baseline_cmd;
             experiments_cmd;
+            qor_cmd;
+            compare_cmd;
             trace_check_cmd;
           ]))

@@ -67,6 +67,7 @@ let l4_in_scope path =
   has_prefix "lib/cts_core/" path
   || has_prefix "lib/dme/" path
   || has_prefix "lib/numerics/" path
+  || has_prefix "lib/qor/" path
 
 let l5_in_scope path = has_prefix "lib/" path
 

@@ -179,6 +179,113 @@ let parse s =
   | exception Bad (pos, msg) ->
       Error (Printf.sprintf "at byte %d: %s" pos msg)
 
+(* ------------------------------------------------------------------ *)
+(* Canonical writer                                                    *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One fixed number format: integral values print without a fraction,
+   everything else through %.12g — enough digits that values rounded to
+   a fixed decimal precision upstream re-print stably, few enough that
+   double rounding noise (x.000000000000001) never leaks into output. *)
+let format_num f =
+  if Float.is_nan f || Float.abs f = infinity then
+    invalid_arg "Obs_json.to_string: NaN or infinite number"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let to_string ?(pretty = false) v =
+  let b = Buffer.create 256 in
+  let pad depth = Buffer.add_string b (String.make (2 * depth) ' ') in
+  let rec emit depth v =
+    match v with
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Num f -> Buffer.add_string b (format_num f)
+    | Str s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | Arr [] -> Buffer.add_string b "[]"
+    | Arr items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char b ',';
+            if pretty then begin
+              Buffer.add_char b '\n';
+              pad (depth + 1)
+            end;
+            emit (depth + 1) item)
+          items;
+        if pretty then begin
+          Buffer.add_char b '\n';
+          pad depth
+        end;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj members ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char b ',';
+            if pretty then begin
+              Buffer.add_char b '\n';
+              pad (depth + 1)
+            end;
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b (if pretty then "\": " else "\":");
+            emit (depth + 1) item)
+          members;
+        if pretty then begin
+          Buffer.add_char b '\n';
+          pad depth
+        end;
+        Buffer.add_char b '}'
+  in
+  emit 0 v;
+  if pretty then Buffer.add_char b '\n';
+  Buffer.contents b
+
+let write_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~pretty:true v))
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member key = function Obj ms -> List.assoc_opt key ms | _ -> None
+
+let to_float = function
+  | Num f -> Ok f
+  | _ -> Error "expected a number"
+
+let to_int = function
+  | Num f when Float.is_integer f && Float.abs f < 1e15 ->
+      Ok (int_of_float f)
+  | Num _ -> Error "expected an integer"
+  | _ -> Error "expected a number"
+
+let to_str = function Str s -> Ok s | _ -> Error "expected a string"
+
 let validate_trace s =
   match parse s with
   | Error _ as e -> e

@@ -1,0 +1,496 @@
+(* Quality-of-results snapshots. See qor.mli for the determinism and
+   versioning contracts. *)
+
+module J = Obs_json
+
+let schema_version = 1
+
+type buffer_type_row = { cell : string; count : int; area_x : float }
+type level_row = { level : int; merges : int; buffers : int }
+
+type slew_margin = {
+  stages : int;
+  min_ps : float;
+  p50_ps : float;
+  p95_ps : float;
+  max_ps : float;
+}
+
+type runtime = { phases : (string * float) list; wall_s : float }
+
+type t = {
+  version : int;
+  label : string;
+  profile : string;
+  scale : float;
+  sinks : int;
+  levels : int;
+  skew_ps : float;
+  max_latency_ps : float;
+  mean_latency_ps : float;
+  worst_slew_ps : float;
+  slew_margin : slew_margin;
+  total_wire_um : float;
+  snaked_wire_um : float;
+  buffer_count : int;
+  buffer_area_x : float;
+  buffers_by_type : buffer_type_row list;
+  by_level : level_row list;
+  counters : (string * int) list;
+  runtime : runtime option;
+}
+
+let round_ps x = Float.round (x *. 1e3) /. 1e3
+let ps x = round_ps (x *. 1e12)
+
+let buffer_area_x (b : Circuit.Buffer_lib.t) =
+  b.Circuit.Buffer_lib.size +. b.Circuit.Buffer_lib.stage1_size
+
+(* ------------------------------------------------------------------ *)
+(* Capture                                                             *)
+
+let stage_slews ?(source_slew = 60e-12) dl cfg tree =
+  (match tree.Ctree.kind with
+  | Ctree.Buf _ -> ()
+  | _ -> invalid_arg "Qor.stage_slews: tree root must be the source driver");
+  let out = ref [] in
+  let queue = Queue.create () in
+  Queue.add (source_slew, tree) queue;
+  while not (Queue.is_empty queue) do
+    let input_slew, root = Queue.pop queue in
+    let drive =
+      match root.Ctree.kind with
+      | Ctree.Buf b -> b
+      | _ -> assert false (* only buffers are ever enqueued *)
+    in
+    let endpoints = Timing.analyze_stage dl cfg ~drive ~input_slew root in
+    let worst =
+      List.fold_left (fun w (_, _, s) -> Float.max w s) 0. endpoints
+    in
+    out := worst :: !out;
+    List.iter
+      (fun ((n : Ctree.t), _, s) ->
+        match n.Ctree.kind with
+        | Ctree.Buf _ -> Queue.add (s, n) queue
+        | _ -> ())
+      endpoints
+  done;
+  List.rev !out
+
+let runtime_of_obs ~wall_s (snap : Obs.snapshot) =
+  (* Sum repeated spans per name, keeping first-completion order. *)
+  let order = ref [] in
+  let totals = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Obs.span) ->
+      let ms = Float.max 0. (s.Obs.t_stop -. s.Obs.t_start) *. 1e3 in
+      (match Hashtbl.find_opt totals s.Obs.span_name with
+      | None ->
+          order := s.Obs.span_name :: !order;
+          Hashtbl.replace totals s.Obs.span_name ms
+      | Some prev -> Hashtbl.replace totals s.Obs.span_name (prev +. ms)))
+    snap.Obs.spans;
+  {
+    phases =
+      List.rev_map (fun n -> (n, Hashtbl.find totals n)) !order;
+    wall_s;
+  }
+
+let by_level_of_obs (snap : Obs.snapshot) =
+  let get name =
+    match List.assoc_opt name snap.Obs.histograms with
+    | Some buckets -> buckets
+    | None -> []
+  in
+  let merges = get "merges_per_level" and buffers = get "buffers_per_level" in
+  let levels =
+    List.sort_uniq compare (List.map fst merges @ List.map fst buffers)
+  in
+  List.map
+    (fun level ->
+      let find l = Option.value ~default:0 (List.assoc_opt level l) in
+      { level; merges = find merges; buffers = find buffers })
+    levels
+
+let capture ?(label = "unnamed") ?(profile = "custom") ?(scale = 1.0) ?obs
+    ?runtime ?source_slew dl (config : Cts_config.t) (res : Cts.result) =
+  let tree = res.Cts.tree in
+  let report = Timing.analyze_tree dl config ?source_slew tree in
+  let delays = Array.of_list (List.map snd report.Timing.sink_delays) in
+  let margins =
+    Array.of_list
+      (List.map
+         (fun s -> (config.Cts_config.slew_limit -. s) *. 1e12)
+         (stage_slews ?source_slew dl config tree))
+  in
+  let slew_margin =
+    match Util.Stats.percentiles margins [ 0.5; 0.95; 1.0; 0.0 ] with
+    | [ p50; p95 ; mx; mn ] ->
+        {
+          stages = Array.length margins;
+          min_ps = round_ps mn;
+          p50_ps = round_ps p50;
+          p95_ps = round_ps p95;
+          max_ps = round_ps mx;
+        }
+    | _ -> assert false
+  in
+  let lib = Delaylib.buffers dl in
+  let buffers_by_type =
+    List.sort
+      (fun a b -> String.compare a.cell b.cell)
+      (List.map
+         (fun (cell, count) ->
+           let area =
+             match
+               List.find_opt
+                 (fun (b : Circuit.Buffer_lib.t) ->
+                   String.equal b.Circuit.Buffer_lib.name cell)
+                 lib
+             with
+             | Some b -> float_of_int count *. buffer_area_x b
+             | None -> 0.
+           in
+           { cell; count; area_x = round_ps area })
+         (Ctree.buffer_histogram tree))
+  in
+  let buffer_area_x =
+    round_ps (List.fold_left (fun a r -> a +. r.area_x) 0. buffers_by_type)
+  in
+  let counters =
+    match obs with Some (s : Obs.snapshot) -> s.Obs.counters | None -> []
+  in
+  let by_level = match obs with Some s -> by_level_of_obs s | None -> [] in
+  {
+    version = schema_version;
+    label;
+    profile;
+    scale;
+    sinks = List.length (Ctree.sinks tree);
+    levels = res.Cts.levels;
+    skew_ps = ps (Timing.skew report);
+    max_latency_ps = ps report.Timing.max_delay;
+    mean_latency_ps = ps (Util.Stats.mean delays);
+    worst_slew_ps = ps report.Timing.worst_slew;
+    slew_margin;
+    total_wire_um = round_ps (Ctree.total_wirelength tree);
+    snaked_wire_um = round_ps res.Cts.snaked_wirelength;
+    buffer_count = Ctree.n_buffers tree;
+    buffer_area_x;
+    buffers_by_type;
+    by_level;
+    counters;
+    runtime;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let metrics q =
+  [
+    ("timing.skew_ps", q.skew_ps);
+    ("timing.max_latency_ps", q.max_latency_ps);
+    ("timing.mean_latency_ps", q.mean_latency_ps);
+    ("timing.worst_slew_ps", q.worst_slew_ps);
+    ("slew_margin.min_ps", q.slew_margin.min_ps);
+    ("slew_margin.p50_ps", q.slew_margin.p50_ps);
+    ("slew_margin.p95_ps", q.slew_margin.p95_ps);
+    ("wire.total_um", q.total_wire_um);
+    ("wire.snaked_um", q.snaked_wire_um);
+    ("buffers.count", float_of_int q.buffer_count);
+    ("buffers.area_x", q.buffer_area_x);
+    ("tree.levels", float_of_int q.levels);
+    ("tree.sinks", float_of_int q.sinks);
+  ]
+  @ List.map (fun (n, v) -> ("obs." ^ n, float_of_int v)) q.counters
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+
+let to_json q =
+  let num x = J.Num x in
+  let int x = J.Num (float_of_int x) in
+  let base =
+    [
+      ("qor_version", int q.version);
+      ("label", J.Str q.label);
+      ("profile", J.Str q.profile);
+      ("scale", num q.scale);
+      ("sinks", int q.sinks);
+      ("levels", int q.levels);
+      ( "timing_ps",
+        J.Obj
+          [
+            ("skew", num q.skew_ps);
+            ("max_latency", num q.max_latency_ps);
+            ("mean_latency", num q.mean_latency_ps);
+            ("worst_slew", num q.worst_slew_ps);
+          ] );
+      ( "slew_margin_ps",
+        J.Obj
+          [
+            ("stages", int q.slew_margin.stages);
+            ("min", num q.slew_margin.min_ps);
+            ("p50", num q.slew_margin.p50_ps);
+            ("p95", num q.slew_margin.p95_ps);
+            ("max", num q.slew_margin.max_ps);
+          ] );
+      ( "wire_um",
+        J.Obj
+          [ ("total", num q.total_wire_um); ("snaked", num q.snaked_wire_um) ]
+      );
+      ( "buffers",
+        J.Obj
+          [
+            ("count", int q.buffer_count);
+            ("area_x", num q.buffer_area_x);
+            ( "by_type",
+              J.Arr
+                (List.map
+                   (fun r ->
+                     J.Obj
+                       [
+                         ("cell", J.Str r.cell);
+                         ("count", int r.count);
+                         ("area_x", num r.area_x);
+                       ])
+                   q.buffers_by_type) );
+            ( "by_level",
+              J.Arr
+                (List.map
+                   (fun r ->
+                     J.Obj
+                       [
+                         ("level", int r.level);
+                         ("merges", int r.merges);
+                         ("buffers", int r.buffers);
+                       ])
+                   q.by_level) );
+          ] );
+      ("counters", J.Obj (List.map (fun (n, v) -> (n, int v)) q.counters));
+    ]
+  in
+  let runtime =
+    match q.runtime with
+    | None -> []
+    | Some r ->
+        [
+          ( "runtime",
+            J.Obj
+              [
+                ("wall_s", num r.wall_s);
+                ( "phases",
+                  J.Arr
+                    (List.map
+                       (fun (n, ms) ->
+                         J.Obj [ ("name", J.Str n); ("ms", num ms) ])
+                       r.phases) );
+              ] );
+        ]
+  in
+  J.Obj (base @ runtime)
+
+(* ------------------------------------------------------------------ *)
+(* Strict reader                                                       *)
+
+let ( let* ) = Result.bind
+
+let err path msg = Error (Printf.sprintf "%s: %s" path msg)
+
+let obj path = function
+  | J.Obj ms -> Ok ms
+  | _ -> err path "expected an object"
+
+let arr path = function
+  | J.Arr items -> Ok items
+  | _ -> err path "expected an array"
+
+let field path ms key =
+  match List.assoc_opt key ms with
+  | Some v -> Ok v
+  | None -> err (path ^ "." ^ key) "missing"
+
+let fnum path ms key =
+  let* v = field path ms key in
+  Result.map_error (Printf.sprintf "%s.%s: %s" path key) (J.to_float v)
+
+let fint path ms key =
+  let* v = field path ms key in
+  Result.map_error (Printf.sprintf "%s.%s: %s" path key) (J.to_int v)
+
+let fstr path ms key =
+  let* v = field path ms key in
+  Result.map_error (Printf.sprintf "%s.%s: %s" path key) (J.to_str v)
+
+let reject_unknown path ms allowed =
+  match List.find_opt (fun (k, _) -> not (List.mem k allowed)) ms with
+  | Some (k, _) -> err (path ^ "." ^ k) "unknown field (strict reader)"
+  | None -> Ok ()
+
+let list_fold path f items =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: tl ->
+        let* v = f (Printf.sprintf "%s[%d]" path i) x in
+        go (i + 1) (v :: acc) tl
+  in
+  go 0 [] items
+
+let read_by_type path v =
+  let* ms = obj path v in
+  let* () = reject_unknown path ms [ "cell"; "count"; "area_x" ] in
+  let* cell = fstr path ms "cell" in
+  let* count = fint path ms "count" in
+  let* area_x = fnum path ms "area_x" in
+  Ok { cell; count; area_x }
+
+let read_by_level path v =
+  let* ms = obj path v in
+  let* () = reject_unknown path ms [ "level"; "merges"; "buffers" ] in
+  let* level = fint path ms "level" in
+  let* merges = fint path ms "merges" in
+  let* buffers = fint path ms "buffers" in
+  Ok { level; merges; buffers }
+
+let read_phase path v =
+  let* ms = obj path v in
+  let* () = reject_unknown path ms [ "name"; "ms" ] in
+  let* name = fstr path ms "name" in
+  let* ms_v = fnum path ms "ms" in
+  Ok (name, ms_v)
+
+let read_counters path v =
+  let* ms = obj path v in
+  list_fold path
+    (fun p (n, v) ->
+      let* i =
+        Result.map_error (Printf.sprintf "%s(%s): %s" p n) (J.to_int v)
+      in
+      Ok (n, i))
+    ms
+
+let of_json v =
+  let path = "qor" in
+  let* ms = obj path v in
+  let* () =
+    reject_unknown path ms
+      [
+        "qor_version"; "label"; "profile"; "scale"; "sinks"; "levels";
+        "timing_ps"; "slew_margin_ps"; "wire_um"; "buffers"; "counters";
+        "runtime";
+      ]
+  in
+  let* version = fint path ms "qor_version" in
+  if version < 1 || version > schema_version then
+    err (path ^ ".qor_version")
+      (Printf.sprintf "unsupported version %d (supported: 1..%d)" version
+         schema_version)
+  else
+    let* label = fstr path ms "label" in
+    let* profile = fstr path ms "profile" in
+    let* scale = fnum path ms "scale" in
+    let* sinks = fint path ms "sinks" in
+    let* levels = fint path ms "levels" in
+    let* timing = field path ms "timing_ps" in
+    let tpath = path ^ ".timing_ps" in
+    let* tms = obj tpath timing in
+    let* () =
+      reject_unknown tpath tms
+        [ "skew"; "max_latency"; "mean_latency"; "worst_slew" ]
+    in
+    let* skew_ps = fnum tpath tms "skew" in
+    let* max_latency_ps = fnum tpath tms "max_latency" in
+    let* mean_latency_ps = fnum tpath tms "mean_latency" in
+    let* worst_slew_ps = fnum tpath tms "worst_slew" in
+    let* sm = field path ms "slew_margin_ps" in
+    let spath = path ^ ".slew_margin_ps" in
+    let* sms = obj spath sm in
+    let* () =
+      reject_unknown spath sms [ "stages"; "min"; "p50"; "p95"; "max" ]
+    in
+    let* stages = fint spath sms "stages" in
+    let* min_ps = fnum spath sms "min" in
+    let* p50_ps = fnum spath sms "p50" in
+    let* p95_ps = fnum spath sms "p95" in
+    let* max_ps = fnum spath sms "max" in
+    let* wire = field path ms "wire_um" in
+    let wpath = path ^ ".wire_um" in
+    let* wms = obj wpath wire in
+    let* () = reject_unknown wpath wms [ "total"; "snaked" ] in
+    let* total_wire_um = fnum wpath wms "total" in
+    let* snaked_wire_um = fnum wpath wms "snaked" in
+    let* bufs = field path ms "buffers" in
+    let bpath = path ^ ".buffers" in
+    let* bms = obj bpath bufs in
+    let* () =
+      reject_unknown bpath bms [ "count"; "area_x"; "by_type"; "by_level" ]
+    in
+    let* buffer_count = fint bpath bms "count" in
+    let* buffer_area_x = fnum bpath bms "area_x" in
+    let* by_type_v = field bpath bms "by_type" in
+    let* by_type_items = arr (bpath ^ ".by_type") by_type_v in
+    let* buffers_by_type =
+      list_fold (bpath ^ ".by_type") read_by_type by_type_items
+    in
+    let* by_level_v = field bpath bms "by_level" in
+    let* by_level_items = arr (bpath ^ ".by_level") by_level_v in
+    let* by_level =
+      list_fold (bpath ^ ".by_level") read_by_level by_level_items
+    in
+    let* counters_v = field path ms "counters" in
+    let* counters = read_counters (path ^ ".counters") counters_v in
+    let* runtime =
+      match List.assoc_opt "runtime" ms with
+      | None -> Ok None
+      | Some r ->
+          let rpath = path ^ ".runtime" in
+          let* rms = obj rpath r in
+          let* () = reject_unknown rpath rms [ "wall_s"; "phases" ] in
+          let* wall_s = fnum rpath rms "wall_s" in
+          let* phases_v = field rpath rms "phases" in
+          let* phase_items = arr (rpath ^ ".phases") phases_v in
+          let* phases = list_fold (rpath ^ ".phases") read_phase phase_items in
+          Ok (Some { phases; wall_s })
+    in
+    Ok
+      {
+        version;
+        label;
+        profile;
+        scale;
+        sinks;
+        levels;
+        skew_ps;
+        max_latency_ps;
+        mean_latency_ps;
+        worst_slew_ps;
+        slew_margin = { stages; min_ps; p50_ps; p95_ps; max_ps };
+        total_wire_um;
+        snaked_wire_um;
+        buffer_count;
+        buffer_area_x;
+        buffers_by_type;
+        by_level;
+        counters;
+        runtime;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* IO                                                                  *)
+
+let render q = J.to_string ~pretty:true (to_json q)
+let write_file path q = J.write_file path (to_json q)
+
+let load_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match J.parse contents with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok v ->
+          Result.map_error (Printf.sprintf "%s: %s" path) (of_json v))

@@ -1,0 +1,137 @@
+(** Versioned quality-of-results snapshots of a synthesized clock tree.
+
+    The paper's whole evaluation is a QoR story — skew, sink latency,
+    slew margin, wirelength, buffer area per benchmark (thesis Ch. 5 /
+    the DAC tables) — and this module is its machine-readable record:
+    one {!t} per synthesis run, serialized through the canonical
+    {!Obs_json} writer as a versioned JSON document, plus a strict
+    reader/validator so a snapshot written by one commit can be read
+    and gated against by another ({!Qor_compare}, [cts_run compare],
+    [make qor-gate]).
+
+    {b Determinism contract.} Every field of {!t} except the optional
+    {!runtime} section is derived from the synthesized tree, the delay
+    library and the deterministic {!Obs} counters — all of which are
+    bit-identical at any [CTS_DOMAINS] value (PR 1/PR 3 oracles). The
+    numeric fields are rounded to a fixed decimal precision at capture
+    time ({!round_ps}) and printed through {!Obs_json.to_string}'s one
+    canonical number format, so the rendered snapshot for a given seed
+    is {e byte-identical} between sequential and parallel runs — the
+    property [test/t_qor.ml] locks in. Wall-clock may only appear in
+    {!runtime}, which capture omits unless explicitly provided and
+    which {!Qor_compare} ignores.
+
+    {b Versioning rules.} [schema_version] is bumped whenever a field
+    is added, removed or changes meaning/unit. Readers accept any
+    version from 1 up to the current one; fields introduced later are
+    simply absent from older files, and {!Qor_compare} reports metrics
+    missing from a baseline as "new", never as regressions. Unknown
+    object keys are rejected (strict mode), so typos and
+    future-version files fail loudly instead of comparing garbage.
+
+    Domain-safety: capture mutates only call-local scratch (a stage
+    worklist and accumulators); snapshots are immutable values. Safe
+    from any domain. *)
+
+val schema_version : int
+(** Current schema version (1). *)
+
+type buffer_type_row = { cell : string; count : int; area_x : float }
+(** Buffer count and area for one library cell, area in unit-inverter
+    equivalents (second stage + first stage size). *)
+
+type level_row = { level : int; merges : int; buffers : int }
+(** Merge/buffer totals of one synthesis level (from the {!Obs}
+    per-level histograms; empty when no snapshot was supplied). *)
+
+type slew_margin = {
+  stages : int;  (** Buffer stages measured. *)
+  min_ps : float;  (** Binding margin: worst stage. *)
+  p50_ps : float;
+  p95_ps : float;
+  max_ps : float;
+}
+(** Distribution of per-stage slew margin (slew limit minus the
+    stage's worst endpoint slew, ps) over all buffer stages, via
+    {!Util.Stats.percentiles}. *)
+
+type runtime = {
+  phases : (string * float) list;
+      (** Wall-clock per phase name (ms), first-completion order,
+          repeated spans summed. *)
+  wall_s : float;  (** Whole-run wall-clock (s). *)
+}
+(** Non-deterministic wall-clock section: never part of the
+    determinism contract, never compared by {!Qor_compare}. *)
+
+type t = {
+  version : int;
+  label : string;  (** Benchmark name or input file. *)
+  profile : string;  (** Characterization profile ("fast"/"accurate"). *)
+  scale : float;
+  sinks : int;
+  levels : int;
+  skew_ps : float;  (** Global skew from {!Timing.analyze_tree}. *)
+  max_latency_ps : float;
+  mean_latency_ps : float;
+  worst_slew_ps : float;
+  slew_margin : slew_margin;
+  total_wire_um : float;  (** Routed wirelength incl. snaking. *)
+  snaked_wire_um : float;  (** Balance-stage snaking alone. *)
+  buffer_count : int;
+  buffer_area_x : float;  (** Total area, unit-inverter equivalents. *)
+  buffers_by_type : buffer_type_row list;  (** Sorted by cell name. *)
+  by_level : level_row list;  (** Sorted by level. *)
+  counters : (string * int) list;
+      (** Deterministic {!Obs} counter totals, {!Obs.all_counters}
+          order; empty when captured without an {!Obs.snapshot}. *)
+  runtime : runtime option;
+}
+
+val round_ps : float -> float
+(** Fixed capture precision: round to 3 decimals (1 fs in ps units,
+    1 nm in um units) so serialized values are decimal-stable. *)
+
+val buffer_area_x : Circuit.Buffer_lib.t -> float
+(** Area proxy in unit-inverter equivalents: stage-2 + stage-1 size. *)
+
+val stage_slews :
+  ?source_slew:float -> Delaylib.t -> Cts_config.t -> Ctree.t ->
+  float list
+(** Worst endpoint slew (s) of every buffer stage, breadth-first from
+    the root driver, via {!Timing.analyze_stage}. The tree root must
+    be the planted source driver buffer. *)
+
+val runtime_of_obs : wall_s:float -> Obs.snapshot -> runtime
+(** Aggregate the snapshot's wall-clock spans per phase name. *)
+
+val capture :
+  ?label:string -> ?profile:string -> ?scale:float ->
+  ?obs:Obs.snapshot -> ?runtime:runtime -> ?source_slew:float ->
+  Delaylib.t -> Cts_config.t -> Cts.result -> t
+(** Take a snapshot of a finished synthesis. Timing comes from
+    {!Timing.analyze_tree} (the deterministic analyzer, not SPICE);
+    the slew-margin distribution from {!stage_slews} against
+    [config.slew_limit]; wire/buffer totals from the tree; counters
+    and per-level rows from [obs] when given. [label] defaults to
+    ["unnamed"], [profile] to ["custom"], [scale] to [1.0]. *)
+
+val metrics : t -> (string * float) list
+(** Canonical scalar metric list — the tuple {!Qor_compare} gates on
+    (["timing.skew_ps"], ["wire.total_um"], ["buffers.count"], ...)
+    followed by the informational ["obs.*"] counter totals. *)
+
+val to_json : t -> Obs_json.t
+(** Canonical field order; floats pre-rounded per {!round_ps}. *)
+
+val of_json : Obs_json.t -> (t, string) result
+(** Strict reader: checks the version range, every field's type, and
+    rejects unknown keys. The error names the offending path. *)
+
+val render : t -> string
+(** Pretty canonical JSON ({!Obs_json.to_string}[ ~pretty:true]). *)
+
+val write_file : string -> t -> unit
+
+val load_file : string -> (t, string) result
+(** Read + parse + validate; errors are prefixed with the path. *)

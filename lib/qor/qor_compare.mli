@@ -1,0 +1,82 @@
+(** Baseline regression gate over {!Qor} snapshots (the [Compare] side
+    of the QoR subsystem: [cts_run compare], [make qor-gate]).
+
+    Each scalar metric from {!Qor.metrics} is classified against its
+    per-metric threshold into a typed verdict: improved, unchanged,
+    regressed, new (present only in the candidate — e.g. a metric a
+    newer schema version added), or dropped (present only in the
+    baseline). Only [Regressed] gates; informational metrics (tree
+    shape, [obs.*] counter totals) are shown when they move but never
+    fail the gate, and the non-deterministic {!Qor.runtime} section is
+    ignored entirely.
+
+    All float decisions go through {!Numerics.Float_cmp}: epsilon-equal
+    values are unchanged, and a delta must exceed its threshold
+    {e definitively} ([definitely_lt]) to regress — a delta exactly at
+    the threshold passes.
+
+    Domain-safety: comparison and rendering mutate only call-local
+    accumulators; reports are immutable values. Safe from any
+    domain. *)
+
+type direction =
+  | Lower_better  (** Skew, latency, wirelength, buffer area... *)
+  | Higher_better  (** Slew margin. *)
+  | Informational  (** Reported when changed; never gates. *)
+
+type threshold = { abs_tol : float; rel_tol : float; direction : direction }
+(** A metric regresses when its adverse delta definitively exceeds
+    [max abs_tol (rel_tol *. |baseline|)]. *)
+
+val default_threshold : string -> threshold
+(** Per-metric defaults keyed by {!Qor.metrics} name: timing metrics
+    gate at 2% relative / sub-ps absolute, wire and buffer metrics at
+    5%, ["tree.*"] and ["obs.*"] are informational. Unknown metric
+    names (future schema versions) default to informational. *)
+
+type verdict = Improved | Unchanged | Regressed | New | Dropped | Changed
+(** [Changed] is an informational metric that moved; [New]/[Dropped]
+    are metrics present on only one side (never regressions). *)
+
+type row = {
+  metric : string;
+  base : float option;
+  cand : float option;
+  verdict : verdict;
+}
+
+type report = {
+  rows : row list;  (** Baseline metric order, then candidate-only. *)
+  n_regressed : int;
+  n_improved : int;
+  warnings : string list;
+      (** Label/profile/scale/sink-count mismatches: the two snapshots
+          may not be comparing the same experiment. *)
+}
+
+val of_metrics :
+  ?threshold:(string -> threshold) ->
+  baseline:(string * float) list ->
+  (string * float) list ->
+  report
+(** [of_metrics ~baseline candidate] — core comparison over raw metric
+    lists, candidate positional (exposed so tests can model older-schema
+    baselines with missing metrics). *)
+
+val compare_snapshots :
+  ?threshold:(string -> threshold) -> baseline:Qor.t -> Qor.t -> report
+(** {!of_metrics} over {!Qor.metrics} of the baseline and the (positional)
+    candidate, plus
+    metadata-mismatch warnings. *)
+
+val render : report -> string
+(** Delta table via {!Tables.render} — metric, baseline,
+    candidate, delta, relative delta, verdict — restricted to rows
+    worth reading (everything except unchanged metrics), followed by
+    warnings and a one-line summary. *)
+
+val has_regression : report -> bool
+
+val exit_code : report -> int
+(** [0] when clean, [6] when any metric regressed — the exit contract
+    of [cts_run compare] ([make qor-gate] relies on it). *)

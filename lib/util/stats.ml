@@ -20,16 +20,29 @@ let spread a =
   let lo, hi = min_max a in
   hi -. lo
 
-let percentile a p =
-  assert (Array.length a > 0 && p >= 0. && p <= 1.);
-  let sorted = Array.copy a in
-  Array.sort Float.compare sorted;
+(* Interpolation over an already-sorted array: p = 0 is the minimum,
+   p = 1 the maximum, and a singleton returns its only element for any
+   p (pos is 0 and the i >= n-1 branch fires). *)
+let interp_sorted sorted p =
+  assert (p >= 0. && p <= 1.);
   let n = Array.length sorted in
   let pos = p *. float_of_int (n - 1) in
   let i = int_of_float (Float.floor pos) in
   let frac = pos -. float_of_int i in
   if i >= n - 1 then sorted.(n - 1)
   else sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+
+let percentile a p =
+  assert (Array.length a > 0);
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  interp_sorted sorted p
+
+let percentiles a ps =
+  assert (Array.length a > 0);
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  List.map (interp_sorted sorted) ps
 
 let rms_error a b =
   assert (Array.length a = Array.length b && Array.length a > 0);

@@ -1,0 +1,341 @@
+(* Tests for the QoR snapshot subsystem: the canonical Obs_json writer,
+   Qor capture/serialize/validate round trips, the CTS_DOMAINS
+   byte-identity contract, and the Qor_compare threshold edges the
+   regression gate depends on. *)
+
+module J = Obs_json
+
+let check_f = Alcotest.(check (float 1e-9))
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------ Obs_json writer ------------------------- *)
+
+let writer_canonical () =
+  let v =
+    J.Obj
+      [
+        ("i", J.Num 3.);
+        ("f", J.Num 0.125);
+        ("s", J.Str "a\"b\n");
+        ("b", J.Bool true);
+        ("n", J.Null);
+        ("a", J.Arr [ J.Num 1.; J.Num 2. ]);
+      ]
+  in
+  Alcotest.(check string)
+    "compact form"
+    "{\"i\":3,\"f\":0.125,\"s\":\"a\\\"b\\n\",\"b\":true,\"n\":null,\"a\":[1,2]}"
+    (J.to_string v);
+  (* The writer's output must re-parse to an equal value (round trip
+     through our own strict parser), compact and pretty alike. *)
+  (match J.parse (J.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "compact round trip" true (v = v')
+  | Error e -> Alcotest.fail e);
+  match J.parse (J.to_string ~pretty:true v) with
+  | Ok v' -> Alcotest.(check bool) "pretty round trip" true (v = v')
+  | Error e -> Alcotest.fail e
+
+let writer_rejects_non_finite () =
+  let msg = "Obs_json.to_string: NaN or infinite number" in
+  Alcotest.check_raises "nan" (Invalid_argument msg) (fun () ->
+      ignore (J.to_string (J.Num Float.nan)));
+  Alcotest.check_raises "inf" (Invalid_argument msg) (fun () ->
+      ignore (J.to_string (J.Num Float.infinity)))
+
+(* -------------------- capture and round trip ---------------------- *)
+
+let synth_once ?(pool_size = 1) () =
+  let dl = T_env.get_dl () in
+  let sinks = T_env.random_sinks ~seed:11 ~n:24 ~die:2000. () in
+  let config = Cts_config.default dl in
+  let pool = Parallel.create ~size:pool_size () in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let res = Cts.synthesize ~config ~pool dl sinks in
+  let obs = Obs.snapshot () in
+  Obs.set_enabled false;
+  Parallel.shutdown pool;
+  let q =
+    Qor.capture ~label:"t_qor" ~profile:"fast" ~scale:1.0 ~obs dl config res
+  in
+  (q, config)
+
+let capture_sanity () =
+  let q, config = synth_once () in
+  Alcotest.(check int) "schema version" Qor.schema_version q.Qor.version;
+  Alcotest.(check int) "sinks" 24 q.Qor.sinks;
+  Alcotest.(check bool) "skew >= 0" true (q.Qor.skew_ps >= 0.);
+  Alcotest.(check bool) "max >= mean latency" true
+    (q.Qor.max_latency_ps >= q.Qor.mean_latency_ps);
+  Alcotest.(check bool) "buffers counted" true (q.Qor.buffer_count > 0);
+  Alcotest.(check int) "by_type total = buffer_count" q.Qor.buffer_count
+    (List.fold_left (fun a r -> a + r.Qor.count) 0 q.Qor.buffers_by_type);
+  Alcotest.(check bool) "slew margin respects limit" true
+    (q.Qor.slew_margin.Qor.min_ps
+    <= config.Cts_config.slew_limit *. 1e12 +. 1e-6);
+  Alcotest.(check bool) "counters absorbed" true (q.Qor.counters <> []);
+  Alcotest.(check bool) "per-level rows absorbed" true (q.Qor.by_level <> []);
+  Alcotest.(check bool) "runtime omitted by default" true
+    (q.Qor.runtime = None)
+
+let json_round_trip () =
+  let q, _ = synth_once () in
+  let text = Qor.render q in
+  match J.parse text with
+  | Error e -> Alcotest.fail ("rendered snapshot does not parse: " ^ e)
+  | Ok v -> (
+      match Qor.of_json v with
+      | Error e -> Alcotest.fail ("strict reader rejects own output: " ^ e)
+      | Ok q' ->
+          Alcotest.(check bool) "value round trip" true (q = q');
+          Alcotest.(check string) "render is a fixed point" text
+            (Qor.render q'))
+
+let reader_rejects_unknown_key () =
+  let q, _ = synth_once () in
+  match Qor.to_json q with
+  | J.Obj ms -> (
+      let v = J.Obj (ms @ [ ("surprise", J.Num 1.) ]) in
+      match Qor.of_json v with
+      | Error msg ->
+          Alcotest.(check bool) "error names the key" true
+            (contains_sub ~sub:"surprise" msg)
+      | Ok _ -> Alcotest.fail "unknown key accepted")
+  | _ -> Alcotest.fail "to_json did not produce an object"
+
+let reader_rejects_future_version () =
+  let q, _ = synth_once () in
+  match Qor.to_json q with
+  | J.Obj ms ->
+      let bumped =
+        J.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "qor_version" then
+                 (k, J.Num (float_of_int (Qor.schema_version + 1)))
+               else (k, v))
+             ms)
+      in
+      Alcotest.(check bool) "future version rejected" true
+        (Result.is_error (Qor.of_json bumped))
+  | _ -> Alcotest.fail "to_json did not produce an object"
+
+(* The acceptance criterion: a snapshot of the same seed is
+   byte-identical whether synthesis ran on 1 domain or 4. *)
+let domains_byte_identity () =
+  let q1, _ = synth_once ~pool_size:1 () in
+  let q4, _ = synth_once ~pool_size:4 () in
+  Alcotest.(check string) "byte-identical render" (Qor.render q1)
+    (Qor.render q4)
+
+let file_round_trip () =
+  let q, _ = synth_once () in
+  let path = Filename.temp_file "qor" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Qor.write_file path q;
+      match Qor.load_file path with
+      | Ok q' -> Alcotest.(check bool) "load_file round trip" true (q = q')
+      | Error e -> Alcotest.fail e)
+
+let load_file_error_names_path () =
+  match Qor.load_file "no/such/snapshot.json" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error msg ->
+      Alcotest.(check bool) "path in message" true
+        (contains_sub ~sub:"no/such/snapshot.json" msg)
+
+(* ------------------------- Qor_compare ---------------------------- *)
+
+module C = Qor_compare
+
+let skew_th = C.default_threshold "timing.skew_ps"
+
+let verdict_of rep name =
+  match List.find_opt (fun r -> r.C.metric = name) rep.C.rows with
+  | Some r -> r.C.verdict
+  | None -> Alcotest.failf "metric %s missing from report" name
+
+let pp_verdict fmt v =
+  Format.pp_print_string fmt
+    (match v with
+    | C.Improved -> "improved"
+    | C.Unchanged -> "unchanged"
+    | C.Regressed -> "regressed"
+    | C.New -> "new"
+    | C.Dropped -> "dropped"
+    | C.Changed -> "changed")
+
+let vd = Alcotest.testable pp_verdict ( = )
+
+let compare_at_threshold () =
+  (* abs_tol dominates at base=10 (rel 2% = 0.2 < 0.5). A delta exactly
+     at the threshold must pass; definitively beyond it must not. *)
+  let base = [ ("timing.skew_ps", 10.) ] in
+  let at = C.of_metrics ~baseline:base [ ("timing.skew_ps", 10.5) ] in
+  Alcotest.check vd "exactly at threshold" C.Unchanged
+    (verdict_of at "timing.skew_ps");
+  let over = C.of_metrics ~baseline:base [ ("timing.skew_ps", 10.6) ] in
+  Alcotest.check vd "beyond threshold" C.Regressed
+    (verdict_of over "timing.skew_ps");
+  Alcotest.(check int) "exit code regressed" 6 (C.exit_code over);
+  Alcotest.(check int) "exit code clean" 0 (C.exit_code at);
+  (* rel_tol dominates at base=100 (2% = 2.0 > abs 0.5). *)
+  let rel_at = C.of_metrics ~baseline:[ ("timing.skew_ps", 100.) ]
+      [ ("timing.skew_ps", 102.) ] in
+  Alcotest.check vd "exactly at relative threshold" C.Unchanged
+    (verdict_of rel_at "timing.skew_ps");
+  check_f "sanity: abs_tol" 0.5 skew_th.C.abs_tol
+
+let compare_epsilon_equal () =
+  (* Float_cmp.approx_eq values are unchanged even though they differ
+     in the last bits. *)
+  let b = 30.736 in
+  let c = b +. (Float.abs b *. 1e-12) in
+  Alcotest.(check bool) "inputs really differ" true (b <> c);
+  let rep =
+    C.of_metrics ~baseline:[ ("timing.skew_ps", b) ] [ ("timing.skew_ps", c) ]
+  in
+  Alcotest.check vd "epsilon-equal is unchanged" C.Unchanged
+    (verdict_of rep "timing.skew_ps")
+
+let compare_missing_metric () =
+  (* A metric absent from an older-schema baseline is "new" in the
+     candidate, never a regression; the converse is "dropped". *)
+  let baseline = [ ("timing.skew_ps", 10.); ("wire.total_um", 500.) ] in
+  let candidate =
+    [ ("timing.skew_ps", 10.); ("slew_margin.p99_ps", 3.) ]
+  in
+  let rep = C.of_metrics ~baseline candidate in
+  Alcotest.check vd "new metric" C.New (verdict_of rep "slew_margin.p99_ps");
+  Alcotest.check vd "dropped metric" C.Dropped (verdict_of rep "wire.total_um");
+  Alcotest.(check int) "neither gates" 0 (C.exit_code rep)
+
+let compare_directions () =
+  (* slew_margin.min_ps is higher-better: shrinking it regresses. *)
+  let rep =
+    C.of_metrics ~baseline:[ ("slew_margin.min_ps", 20.) ]
+      [ ("slew_margin.min_ps", 10.) ]
+  in
+  Alcotest.check vd "margin shrink regresses" C.Regressed
+    (verdict_of rep "slew_margin.min_ps");
+  let rep' =
+    C.of_metrics ~baseline:[ ("slew_margin.min_ps", 10.) ]
+      [ ("slew_margin.min_ps", 20.) ]
+  in
+  Alcotest.check vd "margin growth improves" C.Improved
+    (verdict_of rep' "slew_margin.min_ps");
+  (* obs.* counters are informational: huge swings never gate. *)
+  let rep'' =
+    C.of_metrics ~baseline:[ ("obs.merges", 100.) ] [ ("obs.merges", 9000.) ]
+  in
+  Alcotest.check vd "counter swing is informational" C.Changed
+    (verdict_of rep'' "obs.merges");
+  Alcotest.(check int) "informational never gates" 0 (C.exit_code rep'')
+
+(* Golden rendering of the delta table: locked so the gate's CI output
+   stays stable and readable. *)
+let compare_render_golden () =
+  let rep =
+    C.of_metrics
+      ~baseline:[ ("timing.skew_ps", 30.736); ("buffers.count", 21.) ]
+      [ ("timing.skew_ps", 32.273); ("buffers.count", 21.) ]
+  in
+  let expected =
+    "metric          baseline  candidate  delta   rel     verdict\n\
+     --------------------------------------------------------------\n\
+     timing.skew_ps  30.736    32.273     +1.537  +5.00%  REGRESSED\n\
+     verdict: 1 regressed, 0 improved, 1 unchanged of 2 metrics\n"
+  in
+  Alcotest.(check string) "golden delta table" expected (C.render rep)
+
+let compare_snapshots_warnings () =
+  let q, _ = synth_once () in
+  let q' = { q with Qor.label = "other"; scale = 0.5 } in
+  let rep = C.compare_snapshots ~baseline:q q' in
+  Alcotest.(check int) "label+scale mismatch warned" 2
+    (List.length rep.C.warnings);
+  let clean = C.compare_snapshots ~baseline:q q in
+  Alcotest.(check int) "self-compare has no warnings" 0
+    (List.length clean.C.warnings);
+  Alcotest.(check bool) "self-compare is clean" false
+    (C.has_regression clean)
+
+(* Injected 5% skew regression on a real snapshot must trip the gate. *)
+let compare_injected_regression () =
+  let q, _ = synth_once () in
+  let worse = { q with Qor.skew_ps = Qor.round_ps (q.Qor.skew_ps *. 1.05) } in
+  let rep = C.compare_snapshots ~baseline:q worse in
+  Alcotest.check vd "5% skew regresses" C.Regressed
+    (verdict_of rep "timing.skew_ps");
+  Alcotest.(check int) "exit 6" 6 (C.exit_code rep)
+
+(* ----------------------- bench JSON record ------------------------ *)
+
+let par_bench_round_trip () =
+  let rec_ =
+    {
+      Bench_json.domains = 4;
+      available_cpus = 8;
+      profile = "fast";
+      char_seq_s = 2.21637;
+      char_par_s = 0.75561;
+      char_identical = true;
+      sinks = 80;
+      syn_seq_s = 2.47;
+      syn_par_s = 0.9;
+      syn_identical = true;
+    }
+  in
+  let v = Bench_json.par_bench_json rec_ in
+  (* The emitted document must satisfy its own validator after a trip
+     through the writer and the strict parser. *)
+  (match J.parse (J.to_string ~pretty:true v) with
+  | Error e -> Alcotest.fail ("par_bench JSON does not parse: " ^ e)
+  | Ok v' -> (
+      match Bench_json.validate_par_bench v' with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("validator rejects writer output: " ^ e)));
+  (* Speedup is computed inside, rounded to 3 decimals. *)
+  (match J.member "characterization" v with
+  | Some (J.Obj ms) -> (
+      match List.assoc_opt "speedup" ms with
+      | Some (J.Num s) -> check_f "speedup" 2.933 s
+      | _ -> Alcotest.fail "speedup missing")
+  | _ -> Alcotest.fail "characterization missing");
+  match Bench_json.validate_par_bench (J.Obj [ ("domains", J.Num 4.) ]) with
+  | Ok () -> Alcotest.fail "validator accepted a truncated document"
+  | Error _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "json writer canonical" `Quick writer_canonical;
+    Alcotest.test_case "json writer rejects nan/inf" `Quick
+      writer_rejects_non_finite;
+    Alcotest.test_case "capture sanity" `Quick capture_sanity;
+    Alcotest.test_case "json round trip" `Quick json_round_trip;
+    Alcotest.test_case "strict reader: unknown key" `Quick
+      reader_rejects_unknown_key;
+    Alcotest.test_case "strict reader: future version" `Quick
+      reader_rejects_future_version;
+    Alcotest.test_case "byte identity across domains" `Quick
+      domains_byte_identity;
+    Alcotest.test_case "file round trip" `Quick file_round_trip;
+    Alcotest.test_case "load error names path" `Quick
+      load_file_error_names_path;
+    Alcotest.test_case "compare: at threshold" `Quick compare_at_threshold;
+    Alcotest.test_case "compare: epsilon equal" `Quick compare_epsilon_equal;
+    Alcotest.test_case "compare: missing metric" `Quick compare_missing_metric;
+    Alcotest.test_case "compare: directions" `Quick compare_directions;
+    Alcotest.test_case "compare: golden table" `Quick compare_render_golden;
+    Alcotest.test_case "compare: snapshot warnings" `Quick
+      compare_snapshots_warnings;
+    Alcotest.test_case "compare: injected regression" `Quick
+      compare_injected_regression;
+    Alcotest.test_case "par_bench json round trip" `Quick par_bench_round_trip;
+  ]

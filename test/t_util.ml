@@ -92,6 +92,30 @@ let stats_percentile () =
   check_f "p100" 50. (Util.Stats.percentile a 1.);
   check_f "p25 interpolated" 20. (Util.Stats.percentile a 0.25)
 
+let stats_percentile_edges () =
+  (* Documented edge behaviour: p=0 is the minimum, p=1 the maximum,
+     a singleton answers itself at every p. *)
+  let single = [| 42. |] in
+  check_f "singleton p0" 42. (Util.Stats.percentile single 0.);
+  check_f "singleton p0.3" 42. (Util.Stats.percentile single 0.3);
+  check_f "singleton p1" 42. (Util.Stats.percentile single 1.);
+  let unsorted = [| 5.; 1.; 9.; 3. |] in
+  check_f "p0 = min, unsorted input" 1. (Util.Stats.percentile unsorted 0.);
+  check_f "p1 = max, unsorted input" 9. (Util.Stats.percentile unsorted 1.)
+
+let stats_percentiles_batch () =
+  let a = [| 40.; 10.; 50.; 20.; 30. |] in
+  let ps = [ 0.; 0.25; 0.5; 0.95; 1. ] in
+  let batch = Util.Stats.percentiles a ps in
+  Alcotest.(check int) "one result per p" (List.length ps) (List.length batch);
+  (* Sorting once must agree with the one-at-a-time definition. *)
+  List.iter2
+    (fun p v ->
+      check_f (Printf.sprintf "p=%g matches percentile" p)
+        (Util.Stats.percentile a p) v)
+    ps batch;
+  Alcotest.(check bool) "input left unsorted" true (a.(0) = 40.)
+
 let stats_errors () =
   let a = [| 1.; 2.; 3. |] and b = [| 1.5; 2.; 2. |] in
   check_f "max abs" 1. (Util.Stats.max_abs_error a b);
@@ -120,6 +144,8 @@ let suite =
     Alcotest.test_case "stats mean/variance" `Quick stats_mean_variance;
     Alcotest.test_case "stats min/max/spread" `Quick stats_min_max_spread;
     Alcotest.test_case "stats percentile" `Quick stats_percentile;
+    Alcotest.test_case "stats percentile edges" `Quick stats_percentile_edges;
+    Alcotest.test_case "stats percentiles batch" `Quick stats_percentiles_batch;
     Alcotest.test_case "stats errors" `Quick stats_errors;
     QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
   ]

@@ -25,6 +25,7 @@ let () =
       ("bounded", T_bounded.suite);
       ("parallel", T_parallel.suite);
       ("obs", T_obs.suite);
+      ("qor", T_qor.suite);
       ("bench_cli", T_bench_cli.suite);
       ("lint", T_lint.suite);
     ]
