@@ -35,9 +35,30 @@ qor-baseline:
 	cp BENCH_qor.json bench/baselines/BENCH_qor_fast.json
 	@echo "baseline refreshed: bench/baselines/BENCH_qor_fast.json"
 
-# Determinism / domain-safety source lint (rules L1-L5; see DESIGN.md).
+# Determinism / domain-safety rules (L1-L5) plus the physical-units
+# checker (U1-U4); see DESIGN.md sections 5e/5f.
 lint:
 	dune build @lint
+
+# Units checker alone (U1-U4), with the machine-readable report CI
+# uploads as an artifact.
+lint-units:
+	dune build bin/cts_lint.exe
+	dune exec --no-build bin/cts_lint.exe -- --only-units \
+	  --json lint_report.json lib bin
+
+# Smoke-check the seeded lint fixtures: each must still trigger its
+# rule, or the fixture (and the test pinned to it) has rotted.
+lint-fixtures:
+	dune build bin/cts_lint.exe
+	@if dune exec --no-build bin/cts_lint.exe -- --only-units \
+	  --json lint_fixtures.json test/fixtures/lint > /dev/null; then \
+	  echo "lint-fixtures: expected diagnostics, got none"; exit 1; fi
+	@for r in U1 U2 U3 U4; do \
+	  grep -q "\"rule\": \"$$r\"" lint_fixtures.json \
+	    || { echo "lint-fixtures: rule $$r did not fire"; exit 1; }; \
+	done
+	@echo "lint-fixtures: all seeded fixtures fire (U1-U4)"
 
 # Observability smoke test: synthesize a small synthetic benchmark with
 # --stats and --trace, then validate the emitted Chrome trace JSON.
@@ -57,4 +78,4 @@ clean:
 	dune clean
 
 .PHONY: all test test-par bench bench-full bench-par qor-gate qor-baseline \
-        lint trace-smoke examples clean
+        lint lint-units lint-fixtures trace-smoke examples clean

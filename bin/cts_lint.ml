@@ -1,16 +1,54 @@
-(* Determinism / domain-safety lint driver.
+(* Determinism / domain-safety / units lint driver.
 
-   Usage: cts_lint [DIR-OR-FILE ...]   (default: lib bin)
+   Usage: cts_lint [--units] [--only-units] [--json FILE] [DIR-OR-FILE ...]
+   (default paths: lib bin)
 
-   Exits 1 if any diagnostic is reported, 0 otherwise. Run from the
-   repository root so that rule scoping by relative path (lib/cts_core,
-   lib/report, ...) applies. *)
+   --units       run the physical-units checker (U1-U4) in addition to
+                 the determinism rules (L1-L5)
+   --only-units  run only the units checker
+   --json FILE   additionally write the diagnostics as canonical JSON
+                 (Obs_json writer, stable (file,line,col,rule) order);
+                 the human-readable report still goes to stdout
+
+   Exits 1 if any diagnostic is reported, 0 otherwise, 2 if there was
+   nothing to lint. Run from the repository root so that rule scoping
+   by relative path (lib/cts_core, lib/report, ...) applies; paths are
+   normalized (see Lint.normalize_path), so ./-prefixed and absolute
+   spellings of repository files scope identically. *)
+
+let usage () =
+  prerr_endline
+    "usage: cts_lint [--units] [--only-units] [--json FILE] [DIR-OR-FILE ...]";
+  exit 2
 
 let () =
+  let units = ref false in
+  let only_units = ref false in
+  let json_out = ref None in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--units" :: rest ->
+        units := true;
+        parse_args rest
+    | "--only-units" :: rest ->
+        only_units := true;
+        parse_args rest
+    | "--json" :: file :: rest ->
+        json_out := Some file;
+        parse_args rest
+    | [ "--json" ] -> usage ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+        Printf.eprintf "cts_lint: unknown option %s\n" arg;
+        usage ()
+    | arg :: rest ->
+        paths := arg :: !paths;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
   let args =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "lib"; "bin" ]
+    match List.rev !paths with [] -> [ "lib"; "bin" ] | ps -> ps
   in
   let files = Lint.scan (List.filter Sys.file_exists args) in
   if files = [] then begin
@@ -18,13 +56,41 @@ let () =
       (String.concat " " args);
     exit 2
   end;
-  let diags = Lint.lint_paths files in
+  let ml_count =
+    List.length (List.filter (fun f -> Filename.check_suffix f ".ml") files)
+  in
+  let diags =
+    let l = if !only_units then [] else Lint.lint_paths files in
+    let u = if !units || !only_units then Units.check_paths files else [] in
+    Lint.sort_diagnostics (l @ u)
+  in
+  (match !json_out with
+  | None -> ()
+  | Some file ->
+      let open Obs_json in
+      let json =
+        Obj
+          [
+            ("files_scanned", Num (float_of_int ml_count));
+            ( "diagnostics",
+              Arr
+                (List.map
+                   (fun (d : Lint.diagnostic) ->
+                     Obj
+                       [
+                         ("rule", Str d.rule);
+                         ("file", Str d.file);
+                         ("line", Num (float_of_int d.line));
+                         ("col", Num (float_of_int d.col));
+                         ("message", Str d.message);
+                       ])
+                   diags) );
+          ]
+      in
+      write_file file json);
   List.iter (fun d -> print_endline (Lint.to_string d)) diags;
   match diags with
-  | [] ->
-      Printf.printf "cts_lint: %d files clean\n"
-        (List.length
-           (List.filter (fun f -> Filename.check_suffix f ".ml") files))
+  | [] -> Printf.printf "cts_lint: %d files clean\n" ml_count
   | _ ->
       Printf.eprintf "cts_lint: %d diagnostic(s)\n" (List.length diags);
       exit 1

@@ -460,18 +460,13 @@ let compare_cmd =
       & info [] ~docv:"CANDIDATE" ~doc:"Candidate QoR snapshot (JSON).")
   in
   let run base_path cand_path =
-    let load path =
-      match Qor.load_file path with
-      | Ok q -> q
-      | Error msg ->
-          Printf.eprintf "cts_run: %s\n" msg;
-          exit 2
-    in
-    let baseline = load base_path in
-    let candidate = load cand_path in
-    let rep = Qor_compare.compare_snapshots ~baseline candidate in
-    print_string (Qor_compare.render rep);
-    exit (Qor_compare.exit_code rep)
+    match Qor_compare.compare_files ~baseline:base_path cand_path with
+    | Error msg ->
+        Printf.eprintf "cts_run: %s\n" msg;
+        exit 2
+    | Ok rep ->
+        print_string (Qor_compare.render rep);
+        exit (Qor_compare.exit_code rep)
   in
   Cmd.v
     (Cmd.info "compare"

@@ -132,7 +132,7 @@ let validate t =
       List.iter
         (fun e ->
           let d = Point.manhattan n.pos e.child.pos in
-          if e.length +. 1e-6 < d then
+          if ((e.length +. 1e-6) [@cts.unit_ok]) < d then
             err "edge %d->%d shorter (%g) than Manhattan distance (%g)" n.id
               e.child.id e.length d)
         n.children)

@@ -32,7 +32,7 @@ val edge : ?route:Geometry.Point.t list -> length:float -> t -> edge
 (** [route] lists intermediate bend points (excluding the endpoints). *)
 
 val connect :
-  parent_pos:Geometry.Point.t -> ?extra:float -> t -> edge
+  parent_pos:Geometry.Point.t -> ?extra:(float[@cts.unit "um"]) -> t -> edge
 (** Straight (Manhattan-length) edge from a parent at [parent_pos] to the
     given subtree root, plus [extra] snaked length (default 0). *)
 
@@ -58,9 +58,13 @@ type cap_breakdown = {
 
 val capacitance_breakdown : Circuit.Tech.t -> t -> cap_breakdown
 
-val dynamic_power : Circuit.Tech.t -> freq:float -> t -> float
+val dynamic_power :
+  Circuit.Tech.t -> freq:(float[@cts.unit "dimensionless"]) -> t ->
+  (float[@cts.unit "dimensionless"])
 (** Clock-network dynamic power [C_total * Vdd^2 * f] (W): every node of
-    the clock net swings rail-to-rail once per cycle. *)
+    the clock net swings rail-to-rail once per cycle. Hz and W lie
+    outside the units checker's lattice; [dimensionless] marks them as
+    deliberately unchecked scalars. *)
 
 val depth : t -> int
 

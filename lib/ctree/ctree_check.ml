@@ -83,7 +83,7 @@ let structure ?(canonical_ids = true) tree =
     List.iter
       (fun (e : Ctree.edge) ->
         let d = Geometry.Point.manhattan n.Ctree.pos e.Ctree.child.Ctree.pos in
-        if e.Ctree.length +. 1e-6 < d then
+        if ((e.Ctree.length +. 1e-6) [@cts.unit_ok]) < d then
           add
             (Short_edge
                {

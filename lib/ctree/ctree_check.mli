@@ -34,18 +34,38 @@ type violation =
   | Sink_not_leaf of { id : int; name : string }
   | Overfull_node of { id : int; children : int }  (** Arity > 2. *)
   | Childless_internal of { id : int }
-  | Short_edge of { parent : int; child : int; length : float; manhattan : float }
+  | Short_edge of {
+      parent : int;
+      child : int;
+      length : float;
+      manhattan : float [@cts.unit "um"];
+    }
       (** Recorded routed length undercuts the endpoint Manhattan
           distance: negative snaking slack. *)
   | Root_not_buffer of { id : int }
-  | Stage_slew of { driver : int; node : int; slew : float; limit : float }
+  | Stage_slew of {
+      driver : int;
+      node : int;
+      slew : float;
+      limit : float [@cts.unit "ps"];
+    }
       (** Slew at a stage endpoint [node] (driven from the stage rooted
           at [driver]) exceeds the library limit. *)
-  | Buffer_input_slew of { id : int; slew : float; lo : float; hi : float }
+  | Buffer_input_slew of {
+      id : int;
+      slew : float;
+      lo : float [@cts.unit "ps"];
+      hi : float [@cts.unit "ps"];
+    }
       (** A buffer is driven with an input slew outside the
           characterized fit range [lo, hi]: its delay would be an
           extrapolation the library never validated. *)
-  | Latency_mismatch of { sink : string; got : float; expected : float; tol : float }
+  | Latency_mismatch of {
+      sink : string;
+      got : float [@cts.unit "ps"];
+      expected : float [@cts.unit "ps"];
+      tol : float [@cts.unit "ps"];
+    }
   | Missing_sink of { sink : string }
       (** A sink present in the reference latencies is absent from the
           tree (or vice versa; [expected] side is named). *)
@@ -57,13 +77,13 @@ type env = {
     drive:Circuit.Buffer_lib.t ->
     input_slew:float ->
     Ctree.t ->
-    (Ctree.t * float * float) list;
+    (Ctree.t * (float[@cts.unit "ps"]) * (float[@cts.unit "ps"])) list;
       (** Endpoints [(node, delay, slew)] of the buffer stage rooted at
           the given node, mirroring [Timing.analyze_stage]. *)
   default_driver : Circuit.Buffer_lib.t;
       (** Driver assumed for a buffer-less (partial) region root. *)
   slew_limit : float;  (** Library slew limit (s). *)
-  slew_range : float * float;
+  slew_range : (float[@cts.unit "ps"]) * (float[@cts.unit "ps"]);
       (** Characterized input-slew fit domain of the delay library. *)
   source_slew : float;  (** Input slew presented at the tree root. *)
 }
@@ -73,7 +93,8 @@ val structure : ?canonical_ids:bool -> Ctree.t -> violation list
     trees during synthesis. [canonical_ids] (default [true]) also
     demands ids be exactly the 1-based preorder numbering. *)
 
-val timing : env -> Ctree.t -> violation list * (string * float) list
+val timing :
+  env -> Ctree.t -> violation list * (string * (float[@cts.unit "ps"])) list
 (** Stage-by-stage electrical walk: returns slew/input-range violations
     and the computed absolute sink latencies (offsets not applied). A
     [Merge]-rooted region is driven by [env.default_driver]. *)
@@ -81,8 +102,8 @@ val timing : env -> Ctree.t -> violation list * (string * float) list
 val verify :
   ?canonical_ids:bool ->
   ?require_root_buffer:bool ->
-  ?expected_latencies:(string * float) list ->
-  ?tol:float ->
+  ?expected_latencies:(string * (float[@cts.unit "ps"])) list ->
+  ?tol:(float[@cts.unit "ps"]) ->
   env ->
   Ctree.t ->
   violation list
@@ -97,8 +118,8 @@ exception Check_failed of violation list
 val verify_exn :
   ?canonical_ids:bool ->
   ?require_root_buffer:bool ->
-  ?expected_latencies:(string * float) list ->
-  ?tol:float ->
+  ?expected_latencies:(string * (float[@cts.unit "ps"])) list ->
+  ?tol:(float[@cts.unit "ps"]) ->
   env ->
   Ctree.t ->
   unit

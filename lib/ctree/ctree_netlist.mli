@@ -7,11 +7,11 @@
     Domain-safety: deck emission uses call-local buffers; trees are read-only here. Safe from any domain. *)
 
 val to_deck :
-  ?source_slew:float -> ?t_stop:float -> Circuit.Tech.t -> Ctree.t -> string
+  ?source_slew:float -> ?t_stop:(float[@cts.unit "ps"]) -> Circuit.Tech.t -> Ctree.t -> string
 (** Render the tree. Wire segments between recorded route points are
     emitted individually. Raises [Invalid_argument] if the root is not a
     buffer. *)
 
 val write_file :
-  ?source_slew:float -> ?t_stop:float -> Circuit.Tech.t -> Ctree.t ->
+  ?source_slew:float -> ?t_stop:(float[@cts.unit "ps"]) -> Circuit.Tech.t -> Ctree.t ->
   string -> unit

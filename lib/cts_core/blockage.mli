@@ -19,12 +19,14 @@ val is_empty : t -> bool
 val legal : t -> Geometry.Point.t -> bool
 (** No blockage contains the point. *)
 
-val slide_down : t -> Lpath.t -> float -> float
+val slide_down :
+  t -> Lpath.t -> (float[@cts.unit "um"]) -> (float[@cts.unit "um"])
 (** [slide_down blocks path d] is the largest distance [d' <= d] whose
     path point is legal; 0 when the whole prefix is blocked. Used to pull
     a planned buffer position back toward the path start. *)
 
-val first_legal_after : t -> Lpath.t -> float -> float option
+val first_legal_after :
+  t -> Lpath.t -> (float[@cts.unit "um"]) -> (float[@cts.unit "um"]) option
 (** Smallest legal distance [>= d] along the path, if any. *)
 
 val nearest_legal : t -> Geometry.Point.t -> Geometry.Point.t

@@ -19,7 +19,10 @@ type t = {
   target_bin_len : float;
       (** Desired bin pitch (um); bins grow in count beyond [grid_bins]
           for long nets to keep the pitch at most this. *)
-  topology_beta : float;  (** Delay-difference weight of Eq. 4.1. *)
+  topology_beta : float [@cts.unit "dimensionless"];
+      (** Delay-difference weight of Eq. 4.1 (um per second — a
+          mixed-dimension heuristic weight outside the units checker's
+          lattice, so annotated [dimensionless] = unchecked). *)
   assumed_driver : Circuit.Buffer_lib.t;
       (** Buffer type assumed to drive a merge node before its real
           driver is known (bottom-up slew assumption of Sec. 4.2.2). *)
@@ -28,14 +31,14 @@ type t = {
           planted on the merge node itself (um). *)
   max_stub_cap : float;  (** Capacitance analogue of [max_stub_len] (F). *)
   hstructure : hstructure;
-  prefer_small_within : float;
+  prefer_small_within : float [@cts.unit "um"];
       (** Intelligent sizing: a smaller buffer is preferred when its
           feasible span is within this many um of the best span. *)
   sink_offsets : (string * float) list;
       (** Useful-skew schedule: per-sink extra arrival time (s). A sink
           listed with offset [o] is balanced toward arriving [o] later
           than the rest; unlisted sinks have offset 0. *)
-  top_margin : float;
+  top_margin : float [@cts.unit "dimensionless"];
       (** Fraction of a driver's single-wire span that the top (merge-side)
           unbuffered segment of a routing run may use — headroom for the
           sibling branch's loading at the merge node (default 0.7). *)

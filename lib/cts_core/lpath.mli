@@ -24,7 +24,7 @@ val length : t -> float
 (** Total wire length of the polyline (>= the endpoint Manhattan
     distance; equality iff no detour). *)
 
-val point_at : t -> float -> Geometry.Point.t
+val point_at : t -> (float[@cts.unit "um"]) -> Geometry.Point.t
 (** Point at a given distance from the start; clamped to the ends. *)
 
 val corner : t -> Geometry.Point.t

@@ -80,9 +80,11 @@ let select dl (cfg : Cts_config.t) (p1 : Port.t) (p2 : Port.t) =
           let feas c' = c'.eval1.Run.feasible && c'.eval2.Run.feasible in
           if feas c && not (feas b) then true
           else if feas b && not (feas c) then false
-          else if c.est_skew < b.est_skew -. 0.05e-12 then true
-          else if c.est_skew > b.est_skew +. 0.05e-12 then false
-          else c.d1 +. c.d2 < b.d1 +. b.d2 -. 1.
+          else if c.est_skew < ((b.est_skew -. 0.05e-12) [@cts.unit_ok]) then
+            true
+          else if c.est_skew > ((b.est_skew +. 0.05e-12) [@cts.unit_ok]) then
+            false
+          else c.d1 +. c.d2 < ((b.d1 +. b.d2 -. 1.) [@cts.unit_ok])
     in
     if better then best := Some c
   in

@@ -12,28 +12,31 @@
 
 type choice = {
   bin_center : Geometry.Point.t;
-  d1 : float;  (** Path length from port 1 to the bin (um). *)
-  d2 : float;
+  d1 : float [@cts.unit "um"];
+      (** Path length from port 1 to the bin (um). *)
+  d2 : float [@cts.unit "um"];
   eval1 : Run.eval;
   eval2 : Run.eval;
   est_skew : float;  (** |delay1 - delay2| including top-wire estimates. *)
   bins_per_dim : int;  (** Grid resolution actually used. *)
 }
 
-val bins_for : Cts_config.t -> float -> int
+val bins_for : Cts_config.t -> (float[@cts.unit "um"]) -> int
 (** Grid bins per dimension for a net spanning the given distance (um):
     [grid_bins] grown toward a [target_bin_len] pitch, capped at
     [max_grid_bins] (the cap binds even against a misconfigured
     [grid_bins]; {!Cts_config.validate} rejects such configs). Exposed
     for the clamp-order regression test. *)
 
-val cache_key : float -> int
+val cache_key : (float[@cts.unit "um"]) -> int
 (** Per-side eval-cache quantization of a path length: nearest 0.1 um
     ([Float.round], symmetric around 0 — truncation aliased lengths
     0.04 um apart while splitting lengths 0.01 um apart). Exposed for
     the rounding regression test. *)
 
-val side_delay : Delaylib.t -> Cts_config.t -> Run.eval -> float -> float
+val side_delay :
+  Delaylib.t -> Cts_config.t -> Run.eval -> (float[@cts.unit "um"]) ->
+  (float[@cts.unit "ps"])
 (** [side_delay dl cfg e top_wire] — delay of one side through its top
     wire of the given length, under the assumed-driver model (driver
     intrinsic delay excluded; it is common to both sides). *)

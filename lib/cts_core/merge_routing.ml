@@ -74,7 +74,8 @@ let balance dl (cfg : Cts_config.t) ~blockages (p1 : Port.t) (p2 : Port.t) =
       | None -> fast
       | Some (fast', len) ->
           snaked := !snaked +. len;
-          if fast'.Port.delay >= fast.Port.delay +. 0.05e-12 then
+          if fast'.Port.delay >= ((fast.Port.delay +. 0.05e-12) [@cts.unit_ok])
+          then
             fix fast' slow
           else fast'
   in
@@ -187,7 +188,7 @@ let placer blockages path ~cur d_ideal =
   else begin
     Obs.incr Obs.Placer_adjusted;
     let down = Blockage.slide_down blockages path d_ideal in
-    if down > cur +. 1. then Some down
+    if down > ((cur +. 1.) [@cts.unit_ok]) then Some down
     else
       match Blockage.first_legal_after blockages path d_ideal with
       | Some up -> Some up

@@ -18,7 +18,7 @@
 type stats = {
   snaked : float;  (** Wire length added by the balance stage (um). *)
   inserted_buffers : int;  (** Buffers planted along both paths. *)
-  residual : float;  (** |delay difference| left after binary search. *)
+  residual : float [@cts.unit "ps"];  (** |delay difference| left after binary search. *)
   detoured : bool;  (** The chosen bin lies off the direct region. *)
 }
 
@@ -33,7 +33,8 @@ val merge :
     ISPD 2009 rules). *)
 
 val placer :
-  Blockage.t -> Lpath.t -> cur:float -> float -> float option
+  Blockage.t -> Lpath.t -> cur:(float[@cts.unit "um"]) ->
+  (float[@cts.unit "um"]) -> (float[@cts.unit "um"]) option
 (** [placer blocks path ~cur d_ideal] legalizes a planned buffer
     position along [path] (the [?place] argument {!Run.eval} receives):
     [d_ideal] itself when legal, else a slide back toward [cur]
@@ -45,7 +46,9 @@ val placer :
     clamping would have placed {e inside} the blockage at the path
     end). Exposed for the fully-blocked-path regression test. *)
 
-val balance_capacity : Delaylib.t -> Cts_config.t -> Port.t -> float -> float
+val balance_capacity :
+  Delaylib.t -> Cts_config.t -> Port.t -> (float[@cts.unit "um"]) ->
+  (float[@cts.unit "ps"])
 (** Estimated delay a buffered run of the given length can add to a side
     — the threshold the balance stage compares the delay difference
     against. Exposed for tests and the ablation bench. *)

@@ -16,7 +16,7 @@ type t = {
   stub_len : float;
       (** Longest unbuffered downstream path before hitting a buffer or
           sink (um). *)
-  stub_load : float;
+  stub_load : float [@cts.unit "ff"];
       (** Downstream unbuffered load (gates, sinks, and off-worst-path
           wire) excluding the [stub_len] wire itself (F) — shaped so
           [length = stub_len + extra] with [load = stub_load] never

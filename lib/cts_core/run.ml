@@ -122,7 +122,10 @@ let eval ?(place = fun ~cur:_ d -> Some d) dl (cfg : Cts_config.t)
           feasible := false;
           top_reached := true
       | Some placed ->
-          if placed <= !pos +. 1. || placed >= length +. 0.5 then begin
+          if
+            placed <= ((!pos +. 1.) [@cts.unit_ok])
+            || placed >= ((length +. 0.5) [@cts.unit_ok])
+          then begin
             (* Either the stub alone violates the budget, or the
                legalized position degenerates (at/behind the previous
                buffer, or past the run top): same bail-out. *)

@@ -17,13 +17,13 @@ type eval = {
       (** Port latency plus all inserted stage delays — everything below
           the top of the run, excluding the still-driverless top wire. *)
   buffers : placed list;  (** Bottom-up (nearest the port first). *)
-  top_free : float;
+  top_free : float [@cts.unit "um"];
       (** Wire between the last fixed node (topmost buffer, or the port
           itself) and the top of the run (um). *)
   top_stub_len : float;
       (** Unbuffered length hanging at the run top: [top_free] plus the
           port stub when no buffer was inserted. *)
-  top_load : float;  (** Load (excl. the [top_stub_len] wire) at the top. *)
+  top_load : float [@cts.unit "ff"];  (** Load (excl. the [top_stub_len] wire) at the top. *)
   feasible : bool;
       (** The top stub can be driven by the assumed driver within the
           slew target. *)
@@ -31,7 +31,7 @@ type eval = {
 
 val span :
   Delaylib.t -> Cts_config.t -> drive:Circuit.Buffer_lib.t ->
-  load_cap:float -> float
+  load_cap:float -> (float[@cts.unit "um"])
 (** Memoized longest wire [drive] can put in front of a load of the given
     class while meeting the slew target under the target input-slew
     assumption.
@@ -51,8 +51,9 @@ val reset_span_cache : unit -> unit
     function of the key. *)
 
 val eval :
-  ?place:(cur:float -> float -> float option) -> Delaylib.t -> Cts_config.t ->
-  Port.t -> float -> eval
+  ?place:(cur:(float[@cts.unit "um"]) -> (float[@cts.unit "um"]) ->
+          (float[@cts.unit "um"]) option) ->
+  Delaylib.t -> Cts_config.t -> Port.t -> (float[@cts.unit "um"]) -> eval
 (** [eval dl cfg port length] analyzes a run of [length] um.
 
     [place ~cur ideal] legalizes a planned buffer position [ideal]
@@ -68,13 +69,13 @@ val eval :
 
 val choose_buffer :
   Delaylib.t -> Cts_config.t -> stub_len:float -> load_cap:float ->
-  Circuit.Buffer_lib.t * float
+  Circuit.Buffer_lib.t * (float[@cts.unit "um"])
 (** Intelligent sizing: the buffer type whose feasible span (after the
     existing unbuffered [stub_len]) best exploits the slew budget, and
     that span (um; can be non-positive when the stub alone violates). *)
 
 val stage_step :
-  Delaylib.t -> Cts_config.t -> Circuit.Buffer_lib.t -> float
+  Delaylib.t -> Cts_config.t -> Circuit.Buffer_lib.t -> (float[@cts.unit "um"])
 (** Stage pitch estimate: the span of a buffer driving a gate-class load,
     used by the balance stage to bound what routing can absorb. *)
 

@@ -43,7 +43,8 @@ val analyze_tree :
 
 val analyze_stage :
   Delaylib.t -> Cts_config.t -> drive:Circuit.Buffer_lib.t ->
-  input_slew:float -> Ctree.t -> (Ctree.t * float * float) list
+  input_slew:float -> Ctree.t ->
+  (Ctree.t * (float[@cts.unit "ps"]) * (float[@cts.unit "ps"])) list
 (** Endpoints [(node, delay, slew)] of the single buffer stage rooted at
     the given region: each first buffer or sink below the root, with its
     delay from the driver input and the slew presented at it. This is

@@ -88,7 +88,7 @@ val eval_branch :
 
 val max_length_for_slew :
   t -> drive:Circuit.Buffer_lib.t -> load_cap:float -> input_slew:float ->
-  slew_limit:float -> float
+  slew_limit:float -> (float[@cts.unit "um"])
 (** Longest wire this driver can drive while keeping the load slew within
     [slew_limit], assuming the given input slew; clamped to the
     characterized length domain. *)
@@ -99,16 +99,17 @@ val tech : t -> Circuit.Tech.t
 val len_domain : t -> float * float
 val slew_domain : t -> float * float
 
-val load_class_cap : t -> float -> float
+val load_class_cap : t -> (float[@cts.unit "ff"]) -> (float[@cts.unit "ff"])
 (** Representative capacitance of the load class a given capacitance maps
     to — stable across nearby caps, usable as a memoization key. *)
 
-val fit_report : t -> (string * float * float) list
+val fit_report :
+  t -> (string * (float[@cts.unit "ps"]) * (float[@cts.unit "ps"])) list
 (** Per-fit [(label, rms residual, max |residual|)] against the
     characterization samples, in seconds. *)
 
 val sample_grid_single :
   t -> drive:Circuit.Buffer_lib.t -> load_cap:float ->
-  (float * float * single_eval) list
+  ((float[@cts.unit "ps"]) * (float[@cts.unit "um"]) * single_eval) list
 (** Evaluate the fitted surfaces on a display grid of
     [(input slew, length, values)] — used to regenerate Fig. 3.4. *)

@@ -12,7 +12,7 @@
     Domain-safety: waveform construction uses call-local arrays only. *)
 
 val buffer_output_wave :
-  ?tol:float -> Circuit.Tech.t -> Circuit.Buffer_lib.t -> slew:float ->
+  ?tol:(float[@cts.unit "ps"]) -> Circuit.Tech.t -> Circuit.Buffer_lib.t -> slew:float ->
   Waveform.t
 (** [buffer_output_wave tech binput ~slew] produces a waveform with the
     requested slew (within [tol], default 2 ps), shaped by [binput]

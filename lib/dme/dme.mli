@@ -12,13 +12,13 @@
     Domain-safety: the baseline synthesizer is sequential; all mutable state is call-local. *)
 
 val synthesize :
-  ?beta:float -> Circuit.Tech.t -> Sinks.spec list -> Ctree.t
+  ?beta:(float[@cts.unit "dimensionless"]) -> Circuit.Tech.t -> Sinks.spec list -> Ctree.t
 (** Unbuffered zero-skew DME tree; the root is a {!Ctree.Merge} node (or
     a sink for singleton inputs). [beta] is the topology cost weight of
     {!Topology.level_pairing}. *)
 
 val synthesize_bounded :
-  ?beta:float -> skew_bound:float -> Circuit.Tech.t -> Sinks.spec list ->
+  ?beta:(float[@cts.unit "dimensionless"]) -> skew_bound:float -> Circuit.Tech.t -> Sinks.spec list ->
   Ctree.t
 (** Bounded-skew DME (the BST algorithm of ref [4], whose bookshelf the
     GSRC benchmarks come from): subtree delays are intervals and merges
@@ -27,7 +27,7 @@ val synthesize_bounded :
     zero-skew behaviour. Unbuffered; root is a {!Ctree.Merge}. *)
 
 val synthesize_buffered :
-  ?beta:float -> ?cap_limit:float -> Circuit.Tech.t ->
+  ?beta:(float[@cts.unit "dimensionless"]) -> ?cap_limit:float -> Circuit.Tech.t ->
   Circuit.Buffer_lib.t list -> Sinks.spec list -> Ctree.t
 (** Merge-node-only buffered DME: whenever the downstream capacitance at
     a fresh merge node exceeds [cap_limit] (default 60 fF), a buffer
@@ -45,6 +45,7 @@ val elmore_skew : Circuit.Tech.t -> Ctree.t -> float
 (** Max minus min of {!elmore_latency}. *)
 
 val buffer_delay_estimate :
-  Circuit.Tech.t -> Circuit.Buffer_lib.t -> load:float -> float
+  Circuit.Tech.t -> Circuit.Buffer_lib.t -> load:(float[@cts.unit "ff"]) ->
+  (float[@cts.unit "ps"])
 (** First-order buffer delay (intrinsic + drive resistance x load) used
     by the buffered baseline. *)

@@ -65,7 +65,7 @@ let merge_bounded (tech : Circuit.Tech.t) ~skew_bound ~arc1 ~t1_min ~t1_max
      numerical slack) — otherwise a zero bound would spuriously snake. *)
   let r_star = if l <= 0. then 0. else Numerics.Roots.golden_min width 0. l in
   let floor_width = Float.max (t1_max -. t1_min) (t2_max -. t2_min) in
-  let budget = Float.max skew_bound floor_width +. 1e-15 in
+  let budget = ((Float.max skew_bound floor_width +. 1e-15) [@cts.unit_ok]) in
   if width r_star <= budget then begin
     (* Direct merge at the width-minimizing tap. The merge region is kept
        a thin (tangent) slice: interval tracking here is decorrelated —

@@ -20,17 +20,17 @@ type merged = {
 }
 
 val merge :
-  Circuit.Tech.t -> arc1:Geometry.Trr.t -> t1:float -> c1:float ->
-  arc2:Geometry.Trr.t -> t2:float -> c2:float -> merged
+  Circuit.Tech.t -> arc1:Geometry.Trr.t -> t1:(float[@cts.unit "ps"]) -> c1:(float[@cts.unit "ff"]) ->
+  arc2:Geometry.Trr.t -> t2:(float[@cts.unit "ps"]) -> c2:(float[@cts.unit "ff"]) -> merged
 (** Merge two subtrees. The geometric distance is taken between the two
     arcs (closest approach). *)
 
-val wire_elmore : Circuit.Tech.t -> length:float -> load:float -> float
+val wire_elmore : Circuit.Tech.t -> length:(float[@cts.unit "um"]) -> load:(float[@cts.unit "ff"]) -> (float[@cts.unit "ps"])
 (** Elmore delay of [length] um of wire into a lumped [load]:
     [alpha l (beta l / 2 + load)]. *)
 
 val snake_length_for_delay :
-  Circuit.Tech.t -> load:float -> delay:float -> float
+  Circuit.Tech.t -> load:(float[@cts.unit "ff"]) -> delay:(float[@cts.unit "ps"]) -> (float[@cts.unit "um"])
 (** Wire length whose Elmore delay into [load] equals [delay] (the
     positive quadratic root); 0 for non-positive delays. *)
 
@@ -40,20 +40,22 @@ type bounded = {
           when the skew budget leaves freedom, an arc when it does not.
           Future merges measure distance to this region, which is where
           bounded-skew saves wirelength. *)
-  r_lo : float;
-  r_hi : float;
+  r_lo : float [@cts.unit "um"];
+  r_hi : float [@cts.unit "um"];
       (** Feasible tap range: wire toward side 1 may be anything in
           [r_lo, r_hi]; side 2 gets [total_l - r]. *)
-  total_l : float;  (** Total wire spent by this merge (um). *)
+  total_l : float [@cts.unit "um"];  (** Total wire spent by this merge (um). *)
   bdelay_min : float;  (** Merged delay interval (s), over the range. *)
   bdelay_max : float;
   bcap : float;
 }
 
 val merge_bounded :
-  Circuit.Tech.t -> skew_bound:float -> arc1:Geometry.Trr.t -> t1_min:float ->
-  t1_max:float -> c1:float -> arc2:Geometry.Trr.t -> t2_min:float ->
-  t2_max:float -> c2:float -> bounded
+  Circuit.Tech.t -> skew_bound:(float[@cts.unit "ps"]) -> arc1:Geometry.Trr.t ->
+  t1_min:(float[@cts.unit "ps"]) -> t1_max:(float[@cts.unit "ps"]) ->
+  c1:(float[@cts.unit "ff"]) -> arc2:Geometry.Trr.t ->
+  t2_min:(float[@cts.unit "ps"]) -> t2_max:(float[@cts.unit "ps"]) ->
+  c2:(float[@cts.unit "ff"]) -> bounded
 (** Bounded-skew merge (Cong/Kahng/Koh/Tsao's BST relaxation, ref [4] of
     the paper): subtree delays are {e intervals}; the tap may land
     anywhere in a feasible range (kept wide enough that the union of
@@ -62,7 +64,7 @@ val merge_bounded :
     the bound. With [skew_bound = 0] this degenerates to {!merge}. *)
 
 val bounded_slice :
-  Geometry.Trr.t -> Geometry.Trr.t -> total_l:float -> r:float ->
+  Geometry.Trr.t -> Geometry.Trr.t -> total_l:(float[@cts.unit "um"]) -> r:(float[@cts.unit "um"]) ->
   Geometry.Trr.t
 (** The tap slice for a specific split [r]: points within [r] of the
     first arc and [total_l - r] of the second (detour-free for direct

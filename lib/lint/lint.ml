@@ -30,13 +30,69 @@ type diagnostic = {
 let to_string d =
   Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
 
+(* The documented report order: position first, rule as a tie-break.
+   (Bare polymorphic compare on the record would sort by [rule] first —
+   the field order — interleaving files in the report.) *)
+let compare_diagnostic a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = compare a.rule b.rule in
+        if c <> 0 then c else compare a.message b.message
+
+let sort_diagnostics ds = List.sort_uniq compare_diagnostic ds
+
 (* ------------------------------------------------------------------ *)
 (* Paths and rule scopes                                               *)
 
-let norm path =
-  if String.length path >= 2 && String.sub path 0 2 = "./" then
-    String.sub path 2 (String.length path - 2)
-  else path
+(* Rule scoping (L2-L5, and the units pass's U-rules) keys off paths
+   relative to the repository root, like "lib/cts_core/cts.ml". When
+   cts_lint is invoked from outside the root, or with "./"-prefixed or
+   absolute arguments, the raw path would defeat every prefix test, so
+   normalization re-roots each path at the last segment naming a known
+   top-level source directory. A path containing none of them (a
+   scratch file in /tmp) is only cleaned of "." and ".." segments. *)
+
+let top_level_dirs = [ "lib"; "bin"; "bench"; "test"; "examples" ]
+
+let normalize_path path =
+  let segs =
+    List.filter
+      (fun s -> s <> "" && s <> ".")
+      (String.split_on_char '/' path)
+  in
+  let segs =
+    (* Resolve ".." against a preceding real segment where possible. *)
+    List.rev
+      (List.fold_left
+         (fun acc s ->
+           match (s, acc) with
+           | "..", p :: tl when p <> ".." -> tl
+           | _ -> s :: acc)
+         [] segs)
+  in
+  let root_at =
+    let rec go i best = function
+      | [] -> best
+      | s :: tl ->
+          go (i + 1) (if List.mem s top_level_dirs then Some i else best) tl
+    in
+    go 0 None segs
+  in
+  let segs =
+    match root_at with
+    | Some i -> List.filteri (fun j _ -> j >= i) segs
+    | None -> segs
+  in
+  String.concat "/" segs
+
+let norm = normalize_path
 
 let has_prefix p s =
   String.length s >= String.length p && String.sub s 0 (String.length p) = p
@@ -694,7 +750,7 @@ let lint_sources sources =
     mls;
   report_l1 glob;
   report_l5 glob mlis;
-  List.sort_uniq compare glob.diags
+  sort_diagnostics glob.diags
 
 let read_file path =
   let ic = open_in_bin path in

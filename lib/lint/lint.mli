@@ -52,6 +52,21 @@ type diagnostic = {
 val to_string : diagnostic -> string
 (** ["file:line:col: [rule] message"]. *)
 
+val compare_diagnostic : diagnostic -> diagnostic -> int
+(** Report order: (file, line, col, rule, message). *)
+
+val sort_diagnostics : diagnostic list -> diagnostic list
+(** Sort by {!compare_diagnostic} and deduplicate. *)
+
+val normalize_path : string -> string
+(** Normalize a source path for rule scoping: drop ["."] segments,
+    resolve [".."] where possible, and re-root at the last segment
+    naming a known top-level source directory ([lib], [bin], [bench],
+    [test], [examples]) — so ["./lib/dme/d.ml"],
+    ["/abs/checkout/lib/dme/d.ml"] and ["lib/dme/d.ml"] all scope (and
+    report) identically. Paths containing no known root are only
+    cleaned. *)
+
 val lint_sources : (string * string) list -> diagnostic list
 (** [lint_sources [(path, contents); ...]] lints in-memory sources.
     Paths are significant: rule scoping (L2–L5) keys off normalized

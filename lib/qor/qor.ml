@@ -40,8 +40,8 @@ type t = {
   runtime : runtime option;
 }
 
-let round_ps x = Float.round (x *. 1e3) /. 1e3
-let ps x = round_ps (x *. 1e12)
+let round3 x = Float.round (x *. 1e3) /. 1e3
+let ps x = round3 (x *. 1e12)
 
 let buffer_area_x (b : Circuit.Buffer_lib.t) =
   b.Circuit.Buffer_lib.size +. b.Circuit.Buffer_lib.stage1_size
@@ -128,10 +128,10 @@ let capture ?(label = "unnamed") ?(profile = "custom") ?(scale = 1.0) ?obs
     | [ p50; p95 ; mx; mn ] ->
         {
           stages = Array.length margins;
-          min_ps = round_ps mn;
-          p50_ps = round_ps p50;
-          p95_ps = round_ps p95;
-          max_ps = round_ps mx;
+          min_ps = round3 mn;
+          p50_ps = round3 p50;
+          p95_ps = round3 p95;
+          max_ps = round3 mx;
         }
     | _ -> assert false
   in
@@ -151,11 +151,11 @@ let capture ?(label = "unnamed") ?(profile = "custom") ?(scale = 1.0) ?obs
              | Some b -> float_of_int count *. buffer_area_x b
              | None -> 0.
            in
-           { cell; count; area_x = round_ps area })
+           { cell; count; area_x = round3 area })
          (Ctree.buffer_histogram tree))
   in
   let buffer_area_x =
-    round_ps (List.fold_left (fun a r -> a +. r.area_x) 0. buffers_by_type)
+    round3 (List.fold_left (fun a r -> a +. r.area_x) 0. buffers_by_type)
   in
   let counters =
     match obs with Some (s : Obs.snapshot) -> s.Obs.counters | None -> []
@@ -173,8 +173,8 @@ let capture ?(label = "unnamed") ?(profile = "custom") ?(scale = 1.0) ?obs
     mean_latency_ps = ps (Util.Stats.mean delays);
     worst_slew_ps = ps report.Timing.worst_slew;
     slew_margin;
-    total_wire_um = round_ps (Ctree.total_wirelength tree);
-    snaked_wire_um = round_ps res.Cts.snaked_wirelength;
+    total_wire_um = round3 (Ctree.total_wirelength tree);
+    snaked_wire_um = round3 res.Cts.snaked_wirelength;
     buffer_count = Ctree.n_buffers tree;
     buffer_area_x;
     buffers_by_type;

@@ -14,7 +14,7 @@
     library and the deterministic {!Obs} counters — all of which are
     bit-identical at any [CTS_DOMAINS] value (PR 1/PR 3 oracles). The
     numeric fields are rounded to a fixed decimal precision at capture
-    time ({!round_ps}) and printed through {!Obs_json.to_string}'s one
+    time ({!round3}) and printed through {!Obs_json.to_string}'s one
     canonical number format, so the rendered snapshot for a given seed
     is {e byte-identical} between sequential and parallel runs — the
     property [test/t_qor.ml] locks in. Wall-clock may only appear in
@@ -88,7 +88,7 @@ type t = {
   runtime : runtime option;
 }
 
-val round_ps : float -> float
+val round3 : float -> float
 (** Fixed capture precision: round to 3 decimals (1 fs in ps units,
     1 nm in um units) so serialized values are decimal-stable. *)
 
@@ -122,7 +122,7 @@ val metrics : t -> (string * float) list
     followed by the informational ["obs.*"] counter totals. *)
 
 val to_json : t -> Obs_json.t
-(** Canonical field order; floats pre-rounded per {!round_ps}. *)
+(** Canonical field order; floats pre-rounded per {!round3}. *)
 
 val of_json : Obs_json.t -> (t, string) result
 (** Strict reader: checks the version range, every field's type, and

@@ -173,3 +173,11 @@ let render rep =
 
 let has_regression rep = rep.n_regressed > 0
 let exit_code rep = if has_regression rep then 6 else 0
+
+let compare_files ?threshold ~baseline candidate =
+  match Qor.load_file baseline with
+  | Error _ as e -> e
+  | Ok b -> (
+      match Qor.load_file candidate with
+      | Error _ as e -> e
+      | Ok c -> Ok (compare_snapshots ?threshold ~baseline:b c))

@@ -80,3 +80,14 @@ val has_regression : report -> bool
 val exit_code : report -> int
 (** [0] when clean, [6] when any metric regressed — the exit contract
     of [cts_run compare] ([make qor-gate] relies on it). *)
+
+val compare_files :
+  ?threshold:(string -> threshold) ->
+  baseline:string ->
+  string ->
+  (report, string) result
+(** Load both snapshot files through {!Qor.load_file} (strict reader)
+    and compare. [Error] carries the offending path and covers every
+    input [cts_run compare] maps to exit 2: a missing or unreadable
+    file, malformed/truncated JSON, and a [qor_version] newer than this
+    reader. *)

@@ -1,0 +1,6 @@
+(* Seeded U1 violation: adding a length to a delay. The parameter
+   names carry the units via the naming convention; the path re-roots
+   into lib/cts_core so the rule scoping applies. Kept by
+   `make lint-fixtures` as proof the rule still fires. *)
+
+let total_cost len_um t_ps = len_um +. t_ps

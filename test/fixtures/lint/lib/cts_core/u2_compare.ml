@@ -1,0 +1,6 @@
+(* Seeded U2 violations: ordering a capacitance against a delay, and
+   an epsilon comparison (Float_cmp) across units. *)
+
+let worse cap_ff t_ps = cap_ff < t_ps
+
+let same slew_a len_b = Numerics.Float_cmp.approx_eq slew_a len_b

@@ -1,0 +1,4 @@
+(* Seeded U3 violation: a public float in a core interface with
+   neither a [@cts.unit] annotation nor a self-describing name. *)
+
+val mystery : float -> int

@@ -1,0 +1,4 @@
+(* Seeded U4 violation: a bare constant folded into a delay without
+   [@cts.unit_ok] vouching for its unit. *)
+
+let padded input_slew = input_slew +. 3.0

@@ -227,6 +227,32 @@ let test_sorted_deduped () =
     ]
     diags
 
+let test_path_normalization () =
+  (* Regression: `cts_lint ./lib` or an absolute path used to defeat
+     the scoping prefixes (lib/..., bin/...), silently disabling every
+     rule. Paths are now re-rooted at the last recognised top-level
+     segment before scoping applies. *)
+  Alcotest.(check string)
+    "dot-slash prefix" "lib/dme/a.ml"
+    (Lint.normalize_path "./lib/dme/a.ml");
+  Alcotest.(check string)
+    "absolute path" "lib/dme/a.ml"
+    (Lint.normalize_path "/root/repo/lib/dme/a.ml");
+  Alcotest.(check string)
+    "parent segments resolved" "lib/dme/a.ml"
+    (Lint.normalize_path "lib/../lib/dme/./a.ml");
+  Alcotest.(check string)
+    "build sandbox prefix dropped" "test/t_lint.ml"
+    (Lint.normalize_path "_build/default/test/t_lint.ml");
+  let src = "let eq a b = a = b +. 0.\n" in
+  let expected = [ "lib/dme/a.ml:1:13: [L4] " ^ l4_message "=" ] in
+  Alcotest.(check (list string))
+    "dot-slash sources still lint" expected
+    (lint [ ("./lib/dme/a.ml", src) ]);
+  Alcotest.(check (list string))
+    "absolute sources still lint" expected
+    (lint [ ("/root/repo/lib/dme/a.ml", src) ])
+
 let suite =
   [
     Alcotest.test_case "L1: shared mutation in pool task" `Quick test_l1_shared;
@@ -246,4 +272,5 @@ let suite =
     Alcotest.test_case "syntax errors are reported" `Quick test_syntax_error;
     Alcotest.test_case "diagnostics sorted and deduped" `Quick
       test_sorted_deduped;
+    Alcotest.test_case "path normalization" `Quick test_path_normalization;
   ]

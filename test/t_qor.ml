@@ -103,8 +103,35 @@ let reader_rejects_unknown_key () =
       match Qor.of_json v with
       | Error msg ->
           Alcotest.(check bool) "error names the key" true
-            (contains_sub ~sub:"surprise" msg)
+            (contains_sub ~sub:"surprise" msg);
+          Alcotest.(check bool) "error names the strict reader" true
+            (contains_sub ~sub:"unknown field (strict reader)" msg)
       | Ok _ -> Alcotest.fail "unknown key accepted")
+  | _ -> Alcotest.fail "to_json did not produce an object"
+
+let reader_names_nested_unknown_key () =
+  (* Unknown keys inside nested sections are rejected with the full
+     dotted path, not just the leaf key. *)
+  let q, _ = synth_once () in
+  match Qor.to_json q with
+  | J.Obj ms -> (
+      let spiked =
+        J.Obj
+          (List.map
+             (fun (k, v) ->
+               match (k, v) with
+               | "wire_um", J.Obj ws ->
+                   (k, J.Obj (ws @ [ ("kink", J.Num 0.) ]))
+               | _ -> (k, v))
+             ms)
+      in
+      match Qor.of_json spiked with
+      | Error msg ->
+          Alcotest.(check bool) "dotted path in message" true
+            (contains_sub ~sub:"wire_um.kink" msg);
+          Alcotest.(check bool) "strict-reader wording" true
+            (contains_sub ~sub:"unknown field (strict reader)" msg)
+      | Ok _ -> Alcotest.fail "nested unknown key accepted")
   | _ -> Alcotest.fail "to_json did not produce an object"
 
 let reader_rejects_future_version () =
@@ -149,6 +176,82 @@ let load_file_error_names_path () =
   | Error msg ->
       Alcotest.(check bool) "path in message" true
         (contains_sub ~sub:"no/such/snapshot.json" msg)
+
+(* [cts_run compare]'s exit-2 contract lives in
+   [Qor_compare.compare_files]: every [Error] below is printed and
+   mapped to exit 2 by the binary. *)
+
+let with_snapshot_file f =
+  let q, _ = synth_once () in
+  let path = Filename.temp_file "qor" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Qor.write_file path q;
+      f q path)
+
+let expect_compare_error name ~sub ~baseline candidate =
+  match Qor_compare.compare_files ~baseline candidate with
+  | Ok _ -> Alcotest.fail (name ^ ": expected an error")
+  | Error msg ->
+      Alcotest.(check bool) (name ^ ": message content") true
+        (contains_sub ~sub msg)
+
+let compare_files_missing_file () =
+  with_snapshot_file (fun _ good ->
+      expect_compare_error "missing baseline" ~sub:"no/such/base.json"
+        ~baseline:"no/such/base.json" good;
+      expect_compare_error "missing candidate" ~sub:"no/such/cand.json"
+        ~baseline:good "no/such/cand.json")
+
+let compare_files_truncated_json () =
+  with_snapshot_file (fun _ good ->
+      let bad = Filename.temp_file "qor_trunc" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove bad)
+        (fun () ->
+          let text =
+            let ic = open_in_bin good in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          let oc = open_out_bin bad in
+          output_string oc (String.sub text 0 (String.length text / 2));
+          close_out oc;
+          expect_compare_error "truncated candidate" ~sub:bad ~baseline:good
+            bad))
+
+let compare_files_future_version () =
+  with_snapshot_file (fun q good ->
+      let bad = Filename.temp_file "qor_future" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove bad)
+        (fun () ->
+          (match Qor.to_json q with
+          | J.Obj ms ->
+              let bumped =
+                J.Obj
+                  (List.map
+                     (fun (k, v) ->
+                       if k = "qor_version" then
+                         (k, J.Num (float_of_int (Qor.schema_version + 1)))
+                       else (k, v))
+                     ms)
+              in
+              J.write_file bad bumped
+          | _ -> Alcotest.fail "to_json did not produce an object");
+          expect_compare_error "future baseline" ~sub:"qor_version"
+            ~baseline:bad good))
+
+let compare_files_ok () =
+  with_snapshot_file (fun _ good ->
+      match Qor_compare.compare_files ~baseline:good good with
+      | Error e -> Alcotest.fail e
+      | Ok rep ->
+          Alcotest.(check bool) "self-compare clean" false
+            (Qor_compare.has_regression rep);
+          Alcotest.(check int) "exit code 0" 0 (Qor_compare.exit_code rep))
 
 (* ------------------------- Qor_compare ---------------------------- *)
 
@@ -269,7 +372,7 @@ let compare_snapshots_warnings () =
 (* Injected 5% skew regression on a real snapshot must trip the gate. *)
 let compare_injected_regression () =
   let q, _ = synth_once () in
-  let worse = { q with Qor.skew_ps = Qor.round_ps (q.Qor.skew_ps *. 1.05) } in
+  let worse = { q with Qor.skew_ps = Qor.round3 (q.Qor.skew_ps *. 1.05) } in
   let rep = C.compare_snapshots ~baseline:q worse in
   Alcotest.check vd "5% skew regresses" C.Regressed
     (verdict_of rep "timing.skew_ps");
@@ -328,6 +431,15 @@ let suite =
     Alcotest.test_case "file round trip" `Quick file_round_trip;
     Alcotest.test_case "load error names path" `Quick
       load_file_error_names_path;
+    Alcotest.test_case "strict reader: nested unknown key" `Quick
+      reader_names_nested_unknown_key;
+    Alcotest.test_case "compare_files: missing file" `Quick
+      compare_files_missing_file;
+    Alcotest.test_case "compare_files: truncated json" `Quick
+      compare_files_truncated_json;
+    Alcotest.test_case "compare_files: future version" `Quick
+      compare_files_future_version;
+    Alcotest.test_case "compare_files: self-compare" `Quick compare_files_ok;
     Alcotest.test_case "compare: at threshold" `Quick compare_at_threshold;
     Alcotest.test_case "compare: epsilon equal" `Quick compare_epsilon_equal;
     Alcotest.test_case "compare: missing metric" `Quick compare_missing_metric;

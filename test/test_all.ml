@@ -28,4 +28,5 @@ let () =
       ("qor", T_qor.suite);
       ("bench_cli", T_bench_cli.suite);
       ("lint", T_lint.suite);
+      ("units", T_units.suite);
     ]
