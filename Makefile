@@ -35,6 +35,19 @@ qor-baseline:
 	cp BENCH_qor.json bench/baselines/BENCH_qor_fast.json
 	@echo "baseline refreshed: bench/baselines/BENCH_qor_fast.json"
 
+# Same gate for the optimal-DP insertion engine: synthesize the same
+# canonical benchmark with --insertion dp (writes BENCH_qor_dp.json)
+# and compare against its own committed baseline.
+qor-gate-dp:
+	dune exec bench/main.exe -- --profile fast --insertion dp --qor-bench
+	dune exec bin/cts_run.exe -- compare \
+	  bench/baselines/BENCH_qor_dp.json BENCH_qor_dp.json
+
+qor-baseline-dp:
+	dune exec bench/main.exe -- --profile fast --insertion dp --qor-bench
+	cp BENCH_qor_dp.json bench/baselines/BENCH_qor_dp.json
+	@echo "baseline refreshed: bench/baselines/BENCH_qor_dp.json"
+
 # Determinism / domain-safety rules (L1-L5) plus the physical-units
 # checker (U1-U4); see DESIGN.md sections 5e/5f.
 lint:
@@ -78,4 +91,5 @@ clean:
 	dune clean
 
 .PHONY: all test test-par bench bench-full bench-par qor-gate qor-baseline \
-        lint lint-units lint-fixtures trace-smoke examples clean
+        qor-gate-dp qor-baseline-dp lint lint-units lint-fixtures \
+        trace-smoke examples clean

@@ -1,6 +1,7 @@
 type opts = {
   scale : float;
   profile : Delaylib.profile;
+  insertion : Cts_config.insertion;
   kernels : bool;
   parallel_bench : bool;
   qor_bench : bool;
@@ -14,6 +15,7 @@ let default =
   {
     scale = 0.25;
     profile = Delaylib.Accurate;
+    insertion = Cts_config.Greedy;
     kernels = true;
     parallel_bench = false;
     qor_bench = false;
@@ -25,9 +27,9 @@ let default =
 
 let usage ~known =
   Printf.sprintf
-    "usage: main.exe [--scale F] [--profile fast|accurate] [--no-kernels] \
-     [--parallel-bench] [--qor-bench] [--stats] [--trace FILE] \
-     [experiment ...]\n\
+    "usage: main.exe [--scale F] [--profile fast|accurate] \
+     [--insertion greedy|dp] [--no-kernels] [--parallel-bench] \
+     [--qor-bench] [--stats] [--trace FILE] [experiment ...]\n\
      experiments: %s"
     (String.concat " " known)
 
@@ -56,6 +58,15 @@ let parse ~known args =
             Error
               (Printf.sprintf
                  "unknown --profile %S (expected fast or accurate)" v))
+    | "--insertion" :: rest -> (
+        match rest with
+        | [] -> Error "option --insertion needs a value (greedy or dp)"
+        | "greedy" :: rest -> go { acc with insertion = Cts_config.Greedy } rest
+        | "dp" :: rest -> go { acc with insertion = Cts_config.Optimal_dp } rest
+        | v :: _ ->
+            Error
+              (Printf.sprintf "unknown --insertion %S (expected greedy or dp)"
+                 v))
     | "--no-kernels" :: rest -> go { acc with kernels = false } rest
     | "--parallel-bench" :: rest -> go { acc with parallel_bench = true } rest
     | "--qor-bench" :: rest -> go { acc with qor_bench = true } rest

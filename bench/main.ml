@@ -33,7 +33,8 @@ let () =
     Obs.set_enabled true
   end;
   if opts.Cli.parallel_bench then Par_bench.run ~profile:opts.Cli.profile ()
-  else if opts.Cli.qor_bench then Qor_bench.run ~profile:opts.Cli.profile ()
+  else if opts.Cli.qor_bench then
+    Qor_bench.run ~insertion:opts.Cli.insertion ~profile:opts.Cli.profile ()
   else begin
     let todo =
       match opts.Cli.selected with

@@ -1,37 +1,44 @@
-(* Canonical QoR benchmark behind `make qor-gate`: synthesize the same
-   small fixed instance the trace-smoke target uses (r1 at scale 0.05)
-   with observability on, capture a Qor snapshot and write it to
-   BENCH_qor.json for `cts_run compare` against the committed baseline
-   in bench/baselines/.
+(* Canonical QoR benchmark behind `make qor-gate` / `make qor-gate-dp`:
+   synthesize the same small fixed instance the trace-smoke target uses
+   (r1 at scale 0.05) with observability on, capture a Qor snapshot and
+   write it to BENCH_qor.json (greedy insertion) or BENCH_qor_dp.json
+   (optimal DP insertion) for `cts_run compare` against the committed
+   baselines in bench/baselines/.
 
    Obs is enabled only around synthesis — after the delay library is
    loaded — so a cold vs. warm characterization cache cannot perturb
    the counters, and the snapshot stays byte-identical across runs and
    CTS_DOMAINS values. *)
 
-let out_file = "BENCH_qor.json"
 let bench_name = "r1"
 let bench_scale = 0.05
 
-let run ~profile () =
+let run ?(insertion = Cts_config.Greedy) ~profile () =
   let profile_name =
     match profile with
     | Delaylib.Fast -> "fast"
     | Delaylib.Accurate -> "accurate"
   in
+  let insertion_name = Cts_config.insertion_name insertion in
+  let out_file =
+    match insertion with
+    | Cts_config.Greedy -> "BENCH_qor.json"
+    | Cts_config.Optimal_dp -> "BENCH_qor_dp.json"
+  in
   let cache = Printf.sprintf ".cache/delaylib_%s.txt" profile_name in
   (try
      if not (Sys.file_exists ".cache") then Unix.mkdir ".cache" 0o755
    with Unix.Unix_error _ -> ());
-  Printf.printf "=== QoR snapshot (%s, scale %.2f, profile %s) ===\n%!"
-    bench_name bench_scale profile_name;
+  Printf.printf
+    "=== QoR snapshot (%s, scale %.2f, profile %s, insertion %s) ===\n%!"
+    bench_name bench_scale profile_name insertion_name;
   let dl =
     Delaylib.load_or_characterize ~profile ~cache Circuit.Tech.default
       Circuit.Buffer_lib.default_library
   in
   let d = Bmark.Synthetic.scaled (Bmark.Synthetic.find bench_name) bench_scale in
   let sinks = Bmark.Synthetic.sinks d in
-  let config = Cts_config.default dl in
+  let config = Cts_config.with_insertion (Cts_config.default dl) insertion in
   Obs.reset ();
   Obs.set_enabled true;
   let res =
@@ -39,13 +46,25 @@ let run ~profile () =
   in
   let obs = Obs.snapshot () in
   Obs.set_enabled false;
+  (* The engine is part of the label so a DP snapshot can never be
+     mistaken for (or compared as) a greedy one by accident. *)
+  let label =
+    match insertion with
+    | Cts_config.Greedy -> bench_name
+    | Cts_config.Optimal_dp -> bench_name ^ "-dp"
+  in
   let q =
-    Qor.capture ~label:bench_name ~profile:profile_name ~scale:bench_scale
-      ~obs dl config res
+    Qor.capture ~label ~profile:profile_name ~scale:bench_scale ~obs dl config
+      res
   in
   Qor.write_file out_file q;
   Printf.printf
     "  %d sinks, %d levels: skew %.1f ps, max latency %.1f ps, %d buffers\n%!"
     q.Qor.sinks q.Qor.levels q.Qor.skew_ps q.Qor.max_latency_ps
     q.Qor.buffer_count;
+  List.iter
+    (fun (r : Qor.buffer_type_row) ->
+      Printf.printf "    %s: %d (area %.1fX)\n%!" r.Qor.cell r.Qor.count
+        r.Qor.area_x)
+    q.Qor.buffers_by_type;
   Printf.printf "  wrote %s\n%!" out_file

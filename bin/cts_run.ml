@@ -70,6 +70,18 @@ let format_t =
     value & opt (enum [ ("gsrc", `Gsrc); ("ispd", `Ispd) ]) `Gsrc
     & info [ "format" ] ~docv:"FMT" ~doc:"Benchmark file format.")
 
+let insertion_t =
+  Arg.(
+    value
+    & opt
+        (enum [ ("greedy", Cts_config.Greedy); ("dp", Cts_config.Optimal_dp) ])
+        Cts_config.Greedy
+    & info [ "insertion" ] ~docv:"ENGINE"
+        ~doc:
+          "Buffer-insertion engine: $(b,greedy) (slew-driven walk) or \
+           $(b,dp) (optimal multi-cell candidate-set DP with the greedy \
+           solution as incumbent).")
+
 let stats_t =
   Arg.(
     value & flag
@@ -250,8 +262,8 @@ let synth_cmd =
       & opt (some string) None
       & info [ "svg" ] ~docv:"PATH" ~doc:"Render the tree layout to SVG.")
   in
-  let run bench file format scale profile cache hstructure deck slew_limit
-      n_blockages svg stats trace domains verbose =
+  let run bench file format scale profile cache hstructure insertion deck
+      slew_limit n_blockages svg stats trace domains verbose =
     setup_logs verbose;
     setup_domains domains;
     with_obs ~stats ~trace @@ fun () ->
@@ -271,6 +283,7 @@ let synth_cmd =
       {
         (Cts_config.default dl) with
         Cts_config.hstructure;
+        insertion;
         slew_limit = slew_limit *. 1e-12;
         slew_target = 0.8 *. slew_limit *. 1e-12;
       }
@@ -313,8 +326,8 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Synthesize a buffered clock tree and verify it")
     Term.(
       const run $ bench_t $ file_t $ format_t $ scale_t $ profile_t $ cache_t
-      $ hstructure_t $ deck_t $ slew_limit_t $ blockages_t $ svg_t $ stats_t
-      $ trace_t $ domains_t $ verbose_t)
+      $ hstructure_t $ insertion_t $ deck_t $ slew_limit_t $ blockages_t
+      $ svg_t $ stats_t $ trace_t $ domains_t $ verbose_t)
 
 (* -------------------------- baseline ------------------------------ *)
 
@@ -389,8 +402,8 @@ let qor_cmd =
       value & opt float 100.
       & info [ "slew-limit" ] ~docv:"PS" ~doc:"Slew limit in picoseconds.")
   in
-  let run bench file format scale profile cache slew_limit out with_runtime
-      domains verbose =
+  let run bench file format scale profile cache insertion slew_limit out
+      with_runtime domains verbose =
     setup_logs verbose;
     setup_domains domains;
     let t0 = Unix.gettimeofday () in
@@ -399,7 +412,8 @@ let qor_cmd =
     let config =
       {
         (Cts_config.default dl) with
-        Cts_config.slew_limit = slew_limit *. 1e-12;
+        Cts_config.insertion;
+        slew_limit = slew_limit *. 1e-12;
         slew_target = 0.8 *. slew_limit *. 1e-12;
       }
     in
@@ -442,7 +456,8 @@ let qor_cmd =
           Deterministic: byte-identical at any --domains value.")
     Term.(
       const run $ bench_t $ file_t $ format_t $ scale_t $ profile_t $ cache_t
-      $ slew_limit_t $ out_t $ runtime_t $ domains_t $ verbose_t)
+      $ insertion_t $ slew_limit_t $ out_t $ runtime_t $ domains_t
+      $ verbose_t)
 
 (* -------------------------- compare ------------------------------- *)
 

@@ -8,7 +8,16 @@ let default_library =
   [ make ~name:"BUF10X" ~size:10.; make ~name:"BUF20X" ~size:20.;
     make ~name:"BUF30X" ~size:30. ]
 
-let by_name lib name = List.find (fun b -> b.name = name) lib
+let by_name lib name =
+  match List.find_opt (fun b -> b.name = name) lib with
+  | Some b -> b
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Buffer_lib.by_name: no cell %S in library [%s]" name
+           (String.concat "; " (List.map (fun b -> b.name) lib)))
+
+let area_x b = b.size +. b.stage1_size
 
 let smallest lib =
   match lib with

@@ -20,7 +20,13 @@ val default_library : t list
 (** The 3-buffer library of the experiments: 10X, 20X, 30X. *)
 
 val by_name : t list -> string -> t
-(** Lookup; raises [Not_found]. *)
+(** Lookup by cell name; raises [Invalid_argument] naming the missing
+    cell and the library's cells (a bare [Not_found] told the caller
+    nothing about which lookup failed). *)
+
+val area_x : t -> float
+(** Area proxy in unit-inverter equivalents: stage-2 plus stage-1
+    size. *)
 
 val smallest : t list -> t
 (** Lowest-drive buffer of a non-empty library. *)

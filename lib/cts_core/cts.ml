@@ -321,6 +321,7 @@ let synthesize ?config ?(blockages = Blockage.empty) ?pool ?(check = false) dl
     Obs.phase (Printf.sprintf "level %d" !levels) @@ fun () ->
     let inserted0 = st.inserted in
     let merges0 = Obs.read Obs.Merges_routed in
+    let dp_cands0 = Obs.read Obs.Dp_candidates in
     let items = Array.of_list !ports in
     let t_items = Array.map as_item items in
     let pairing =
@@ -354,6 +355,8 @@ let synthesize ?config ?(blockages = Blockage.empty) ?pool ?(check = false) dl
     Obs.hist_add Obs.Buffers_per_level ~bucket:!levels (st.inserted - inserted0);
     Obs.hist_add Obs.Merges_per_level ~bucket:!levels
       (Obs.read Obs.Merges_routed - merges0);
+    Obs.hist_add Obs.Dp_candidates_per_level ~bucket:!levels
+      (Obs.read Obs.Dp_candidates - dp_cands0);
     Log.debug (fun m ->
         m "level %d: %d -> %d subtrees" !levels (Array.length items)
           (List.length !next));

@@ -1,4 +1,5 @@
 type hstructure = H_none | H_reestimate | H_correct
+type insertion = Greedy | Optimal_dp
 
 type t = {
   slew_limit : float;
@@ -16,6 +17,9 @@ type t = {
   top_margin : float;
   enable_balance : bool;
   enable_binary_search : bool;
+  insertion : insertion;
+  dp_area_weight : float;
+  dp_grid : int;
 }
 
 (* The mid-size buffer: neither the weakest nor the most power-hungry
@@ -45,9 +49,15 @@ let default dl =
     top_margin = 0.7;
     enable_balance = true;
     enable_binary_search = true;
+    insertion = Greedy;
+    dp_area_weight = 0.2e-12;
+    dp_grid = 16;
   }
 
 let with_hstructure t h = { t with hstructure = h }
+let with_insertion t i = { t with insertion = i }
+
+let insertion_name = function Greedy -> "greedy" | Optimal_dp -> "dp"
 
 let validate t =
   let errs = ref [] in
@@ -71,4 +81,9 @@ let validate t =
     err "max_stub_len must be non-negative (got %g um)" t.max_stub_len;
   if t.max_stub_cap < 0. then
     err "max_stub_cap must be non-negative (got %g F)" t.max_stub_cap;
+  if t.dp_area_weight < 0. then
+    err "dp_area_weight must be non-negative (got %g s/X)" t.dp_area_weight;
+  if t.dp_grid < 2 then
+    err "dp_grid must be >= 2 (got %d): the DP needs at least two \
+         candidate positions per run" t.dp_grid;
   List.rev !errs

@@ -7,6 +7,15 @@ type hstructure = H_none | H_reestimate | H_correct
 (** H-structure handling (Sec. 4.1.2): off, Method 1 (re-estimation by
     edge cost), or Method 2 (route all pairings, keep the best). *)
 
+type insertion = Greedy | Optimal_dp
+(** Buffer-insertion engine for routing runs: the paper's slew-driven
+    greedy walk ({!Run.eval}, Sec. 4.2.2) or the van Ginneken-style
+    candidate-set dynamic program with b buffer types (Li & Shi,
+    arXiv:0710.4691; {!Run.eval_dp}). Both enforce slew feasibility
+    through the same {!Delaylib} tables; the DP additionally minimizes
+    run delay plus an area term and therefore exercises the whole
+    buffer library instead of a single cell. *)
+
 type t = {
   slew_limit : float;
       (** Hard slew constraint verified by simulation (default 100 ps). *)
@@ -47,6 +56,20 @@ type t = {
   enable_binary_search : bool;
       (** Ablation switch: run the binary-search stage (off pins the
           merge point at the midpoint between the last fixed nodes). *)
+  insertion : insertion;
+      (** Buffer-insertion engine used for every routing run (default
+          [Greedy]). *)
+  dp_area_weight : float [@cts.unit "ps"];
+      (** DP cost of one unit-inverter equivalent of buffer area
+          (seconds per X, default 0.2e-12 = 0.2 ps/X): added per
+          inserted buffer so near-delay-equivalent solutions prefer
+          smaller cells — this is what makes the DP engine exercise the
+          whole library instead of saturating at the largest type. Must
+          be non-negative; 0 minimizes delay alone. *)
+  dp_grid : int;
+      (** Uniform candidate-position count per routing run for the DP
+          engine (default 16; must be >= 2). Runtime is O(b n^2) in
+          this n for b buffer types. *)
 }
 
 val default : Delaylib.t -> t
@@ -55,6 +78,11 @@ val default : Delaylib.t -> t
     handling off. *)
 
 val with_hstructure : t -> hstructure -> t
+
+val with_insertion : t -> insertion -> t
+
+val insertion_name : insertion -> string
+(** Stable CLI/report name: ["greedy"] or ["dp"]. *)
 
 val validate : t -> string list
 (** Sanity-check a configuration; each returned string names one

@@ -6,8 +6,10 @@
        is pre-equalized by progressive wire snaking — alternating
        driving buffers and slew-legal wire segments (Sec. 4.2.1).
     2. {b Route}: bi-directional maze routing ({!Maze}) picks the merge
-       bin of minimum delay difference while inserting slew-driven,
-       intelligently sized buffers along both paths.
+       bin of minimum delay difference while inserting buffers along
+       both paths via {!Run.eval} — the slew-driven greedy walk, or the
+       optimal candidate-set DP when {!Cts_config.t} [insertion] is
+       [Optimal_dp] (DESIGN.md 5g).
     3. {b Binary search}: the merge point [M] slides along the segment
        between the two paths' last fixed nodes, driven by delay-library
        timing analysis, until the residual difference converges

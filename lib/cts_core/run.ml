@@ -88,7 +88,7 @@ let choose_buffer dl (cfg : Cts_config.t) ~stub_len ~load_cap =
   in
   match smallest with Some pick -> pick | None -> assert false
 
-let eval ?(place = fun ~cur:_ d -> Some d) dl (cfg : Cts_config.t)
+let eval_greedy ?(place = fun ~cur:_ d -> Some d) dl (cfg : Cts_config.t)
     (port : Port.t) length =
   Obs.incr Obs.Run_evals;
   let tech = Delaylib.tech dl in
@@ -163,3 +163,315 @@ let eval ?(place = fun ~cur:_ d -> Some d) dl (cfg : Cts_config.t)
     top_load = !stub_load;
     feasible = !feasible;
   }
+
+(* --------------------------------------------------------------- *)
+(* Optimal multi-cell insertion: van Ginneken-style candidate-set DP
+   with b buffer types (Li & Shi, arXiv:0710.4691).                 *)
+
+let area_of_eval (e : eval) =
+  List.fold_left
+    (fun a (p : placed) -> a +. Buffer_lib.area_x p.buf)
+    0. e.buffers
+
+let run_cost dl (cfg : Cts_config.t) (e : eval) =
+  let top =
+    Delaylib.eval_single dl ~drive:cfg.assumed_driver ~load_cap:e.top_load
+      ~input_slew:cfg.slew_target ~length:e.top_stub_len
+  in
+  let area = area_of_eval e in
+  (e.delay_below +. top.Delaylib.wire_delay +. (cfg.dp_area_weight *. area),
+   area)
+
+let cost_better c1 a1 c2 a2 =
+  match Float.compare c1 c2 with
+  | 0 -> Float.compare a1 a2 < 0
+  | c -> c < 0
+
+(* One DP state: the last buffer planted so far, with the best (min
+   cost) way of reaching it. [cost] is delay plus the area term; [delay]
+   is the pure delay kept alongside so the reconstructed [eval] carries
+   the same [delay_below] semantics as the greedy engine. *)
+type dp_state = {
+  s_cost : float;
+  s_delay : float;
+  s_area : float;
+  s_from : int * int;  (* (position, type) below; (-1, -1) is the port *)
+}
+
+let eval_dp ?positions ?(place = fun ~cur:_ d -> Some d) dl
+    (cfg : Cts_config.t) (port : Port.t) length =
+  Obs.incr Obs.Dp_evals;
+  let tech = Delaylib.tech dl in
+  let types = Array.of_list (Delaylib.buffers dl) in
+  let b = Array.length types in
+  let caps = Array.map (fun t -> Buffer_lib.input_cap tech t) types in
+  let areas = Array.map Buffer_lib.area_x types in
+  (* Candidate positions: a uniform [dp_grid] grid (or the caller's
+     list), legalized one by one against blockages and kept strictly
+     increasing; degenerate positions — closer than 1 um to the port or
+     the previous candidate, or within 0.5 um of the run top — are
+     dropped, mirroring the greedy engine's bail-out conditions. *)
+  let raw =
+    match positions with
+    | Some ps -> List.sort Float.compare ps
+    | None ->
+        let n = cfg.dp_grid in
+        List.init (n - 1) (fun k ->
+            float_of_int (k + 1) *. length /. float_of_int n)
+  in
+  let pos_list =
+    let prev = ref 0. in
+    List.filter_map
+      (fun d ->
+        if d <= ((!prev +. 1.) [@cts.unit_ok]) || d >= ((length -. 0.5) [@cts.unit_ok]) then None
+        else
+          match place ~cur:!prev d with
+          | None -> None
+          | Some l ->
+              if
+                l <= ((!prev +. 1.) [@cts.unit_ok])
+                || l >= ((length -. 0.5) [@cts.unit_ok])
+              then None
+              else begin
+                prev := l;
+                Some l
+              end)
+      raw
+  in
+  let p = Array.of_list pos_list in
+  let m = Array.length p in
+  (* Stage-delay memo keyed (type, load class, 0.01 um-quantized length):
+     on a uniform grid the (i, j) pairs collapse onto O(n) distinct
+     lengths, so the table costs O(b n) delay-library lookups while the
+     O(b n^2) transition scan below is pure arithmetic on cached
+     values. Call-local scratch, never shared across domains. *)
+  let sd_memo : (int * float * int, float) Hashtbl.t = Hashtbl.create 256 in
+  let stage_cost t_idx ~len ~load_cap =
+    let cls = Delaylib.load_class_cap dl load_cap in
+    let key = (t_idx, cls, int_of_float (Float.round (len *. 100.))) in
+    match Hashtbl.find_opt sd_memo key with
+    | Some d -> d
+    | None ->
+        let d = stage_delay dl cfg types.(t_idx) ~length:len ~load_cap in
+        Hashtbl.replace sd_memo key d;
+        d
+  in
+  (* Spans hoisted out of the O(b n^2) scan: only b + 1 distinct loads
+     occur (each type's input cap and the port stub), so the mutex-guarded
+     process-global [span] memo is consulted O(b^2) times per eval instead
+     of once per transition. *)
+  let span_port = Array.init b (fun t ->
+      span dl cfg ~drive:types.(t) ~load_cap:port.Port.stub_load)
+  in
+  let span_tt = Array.init b (fun t ->
+      Array.init b (fun t' ->
+          span dl cfg ~drive:types.(t) ~load_cap:caps.(t')))
+  in
+  let assumed_span_cap = Array.init b (fun t ->
+      cfg.top_margin
+      *. span dl cfg ~drive:cfg.assumed_driver ~load_cap:caps.(t))
+  in
+  let assumed_span_port =
+    cfg.top_margin
+    *. span dl cfg ~drive:cfg.assumed_driver ~load_cap:port.Port.stub_load
+  in
+  (* Top-wire delay memo, same quantization as [sd_memo]: the candidate
+     tops collapse onto O(n) distinct lengths and b + 1 load classes. *)
+  let top_memo : (float * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let top_wire_delay ~top_stub_len ~top_load =
+    let cls = Delaylib.load_class_cap dl top_load in
+    let key = (cls, int_of_float (Float.round ((top_stub_len *. 100.) [@cts.unit_ok]))) in
+    match Hashtbl.find_opt top_memo key with
+    | Some d -> d
+    | None ->
+        let e =
+          Delaylib.eval_single dl ~drive:cfg.assumed_driver ~load_cap:top_load
+            ~input_slew:cfg.slew_target ~length:top_stub_len
+        in
+        Hashtbl.replace top_memo key e.Delaylib.wire_delay;
+        e.Delaylib.wire_delay
+  in
+  (* best.(i*b + t): cheapest way to stand a type-t buffer at position
+     i; None when no slew-feasible chain reaches that state. (Flat so
+     every write targets the call-local array head directly.) *)
+  let best = Array.make (m * b) None in
+  let best_get i t = best.((i * b) + t) in
+  (* Sorted candidate list per position (the Li–Shi trick): the row's
+     states collapsed per delay-library load class — states whose
+     class and cost are both no better than another's are inferior and
+     never consulted again — kept sorted by input capacitance. Future
+     stage delay and span depend on the source state only through its
+     load class, so the prune is exact. *)
+  let fronts = Array.make m [] in
+  let consider i t cand =
+    match best_get i t with
+    | Some cur when not (cost_better cand.s_cost cand.s_area cur.s_cost cur.s_area)
+      -> ()
+    | _ -> best.((i * b) + t) <- Some cand
+  in
+  for i = 0 to m - 1 do
+    for t = 0 to b - 1 do
+      (* From the port itself: the stage swallows the port stub. *)
+      let stage_len = p.(i) +. port.Port.stub_len in
+      if stage_len <= span_port.(t) then begin
+        let d = stage_cost t ~len:stage_len ~load_cap:port.Port.stub_load in
+        consider i t
+          {
+            s_cost = port.Port.delay +. d +. (cfg.dp_area_weight *. areas.(t));
+            s_delay = port.Port.delay +. d;
+            s_area = areas.(t);
+            s_from = (-1, -1);
+          }
+      end;
+      (* From every earlier candidate's pruned front. *)
+      for j = 0 to i - 1 do
+        let stage_len = p.(i) -. p.(j) in
+        List.iter
+          (fun (t', (st : dp_state)) ->
+            if stage_len <= span_tt.(t).(t') then begin
+              let d = stage_cost t ~len:stage_len ~load_cap:caps.(t') in
+              consider i t
+                {
+                  s_cost = st.s_cost +. d +. (cfg.dp_area_weight *. areas.(t));
+                  s_delay = st.s_delay +. d;
+                  s_area = st.s_area +. areas.(t);
+                  s_from = (j, t');
+                }
+            end)
+          fronts.(j)
+      done
+    done;
+    (* Build position i's pruned front: best state per load class,
+       sorted by input cap (type order is cap order in a sane library;
+       sort anyway for libraries listed arbitrarily). *)
+    let row = ref [] in
+    for t = b - 1 downto 0 do
+      match best_get i t with
+      | Some st ->
+          Obs.incr Obs.Dp_candidates;
+          let cls = Delaylib.load_class_cap dl caps.(t) in
+          let replaced = ref false in
+          row :=
+            List.map
+              (fun (t', st') ->
+                if
+                  Float.compare (Delaylib.load_class_cap dl caps.(t')) cls = 0
+                then begin
+                  replaced := true;
+                  if cost_better st.s_cost st.s_area st'.s_cost st'.s_area
+                  then begin
+                    Obs.incr Obs.Dp_pruned;
+                    (t, st)
+                  end
+                  else begin
+                    Obs.incr Obs.Dp_pruned;
+                    (t', st')
+                  end
+                end
+                else (t', st'))
+              !row;
+          if not !replaced then row := (t, st) :: !row
+      | None -> ()
+    done;
+    fronts.(i) <-
+      List.sort (fun (t1, _) (t2, _) -> Float.compare caps.(t1) caps.(t2)) !row
+  done;
+  (* Finalize: every state (and the buffer-free base) tops out with the
+     remaining wire hanging under the assumed upstream driver — the same
+     convention and feasibility check as the greedy engine. *)
+  let finalize ~top_stub_len ~top_load ~assumed_span ~cost ~area =
+    let top_ok = top_stub_len <= assumed_span in
+    (top_ok, cost +. top_wire_delay ~top_stub_len ~top_load, area)
+  in
+  let best_final = ref None in
+  let consider_final key (ok, c, a) =
+    let better =
+      match !best_final with
+      | None -> true
+      | Some (ok', c', a', _) ->
+          if ok && not ok' then true
+          else if ok' && not ok then false
+          else cost_better c a c' a'
+    in
+    if better then best_final := Some (ok, c, a, key)
+  in
+  consider_final (-1, -1)
+    (finalize
+       ~top_stub_len:(length +. port.Port.stub_len)
+       ~top_load:port.Port.stub_load ~assumed_span:assumed_span_port
+       ~cost:port.Port.delay ~area:0.);
+  for i = 0 to m - 1 do
+    for t = 0 to b - 1 do
+      match best_get i t with
+      | Some st ->
+          consider_final (i, t)
+            (finalize
+               ~top_stub_len:(length -. p.(i))
+               ~top_load:caps.(t) ~assumed_span:assumed_span_cap.(t)
+               ~cost:st.s_cost ~area:st.s_area)
+      | None -> ()
+    done
+  done;
+  let feasible, (ri, rt) =
+    match !best_final with
+    | Some (ok, _, _, key) -> (ok, key)
+    | None -> assert false (* the base state is always considered *)
+  in
+  if ri < 0 then
+    {
+      delay_below = port.Port.delay;
+      buffers = [];
+      top_free = length;
+      top_stub_len = length +. port.Port.stub_len;
+      top_load = port.Port.stub_load;
+      feasible;
+    }
+  else begin
+    (* Walk the back-pointers down to the port. *)
+    let rec rebuild i t acc =
+      match best_get i t with
+      | None -> assert false
+      | Some st ->
+          let acc = { buf = types.(t); dist = p.(i) } :: acc in
+          let j, t' = st.s_from in
+          if j < 0 then acc else rebuild j t' acc
+    in
+    let buffers = rebuild ri rt [] in
+    let st = Option.get (best_get ri rt) in
+    {
+      delay_below = st.s_delay;
+      buffers;
+      top_free = length -. p.(ri);
+      top_stub_len = length -. p.(ri);
+      top_load = caps.(rt);
+      feasible;
+    }
+  end
+
+(* The public entry point: dispatch on the configured engine. Under
+   [Optimal_dp] the greedy solution is kept as an incumbent — the DP
+   returns whichever of the two costs less under [run_cost], so the DP
+   engine is never worse than greedy on the shared objective (the
+   property test/t_insertion.ml locks), and blockage-heavy runs where
+   the discretized DP goes infeasible degrade to the proven greedy
+   behavior. *)
+let eval ?place dl (cfg : Cts_config.t) (port : Port.t) length =
+  match cfg.insertion with
+  | Cts_config.Greedy -> eval_greedy ?place dl cfg port length
+  | Cts_config.Optimal_dp ->
+      let g = eval_greedy ?place dl cfg port length in
+      let d = eval_dp ?place dl cfg port length in
+      let pick_greedy =
+        if g.feasible && not d.feasible then true
+        else if d.feasible && not g.feasible then false
+        else begin
+          let gc, ga = run_cost dl cfg g in
+          let dc, da = run_cost dl cfg d in
+          cost_better gc ga dc da
+        end
+      in
+      if pick_greedy then begin
+        Obs.incr Obs.Dp_fallbacks;
+        g
+      end
+      else d

@@ -1,13 +1,26 @@
-(** Slew-driven buffer insertion along a routing run (Sec. 4.2.2).
+(** Buffer insertion along a routing run.
 
     Evaluates what happens when a wire of a given length is routed upward
-    from a port: buffers are inserted greedily whenever the unbuffered
-    span would exceed the slew budget, with the paper's "intelligent
-    sizing" — every buffer type is evaluated and the one able to stretch
-    the span closest to (but within) the limit wins, with a preference
-    for smaller types when they come within {!Cts_config.t}
-    [prefer_small_within] of the best span. All slew/delay numbers come
-    from the pre-characterized {!Delaylib}. *)
+    from a port. Two engines share the [eval] result type and the
+    slew-feasibility model (all slew/delay numbers come from the
+    pre-characterized {!Delaylib}):
+
+    - {!eval_greedy} — the paper's slew-driven walk (Sec. 4.2.2):
+      buffers are inserted whenever the unbuffered span would exceed the
+      slew budget, with "intelligent sizing" — every buffer type is
+      evaluated and the one able to stretch the span closest to (but
+      within) the limit wins, with a preference for smaller types when
+      they come within {!Cts_config.t} [prefer_small_within] of the best
+      span.
+    - {!eval_dp} — optimal multi-cell insertion: a van Ginneken-style
+      candidate-set dynamic program over (position, buffer type) states
+      with inferior-candidate pruning per delay-library load class (the
+      sorted-list trick of Li & Shi, arXiv:0710.4691), O(b n^2) for b
+      buffer types and n candidate positions instead of the naive
+      O(b^2 n^2). Minimizes run delay plus [dp_area_weight] per unit of
+      buffer area, subject to every stage meeting the slew target.
+
+    {!eval} dispatches on {!Cts_config.t} [insertion]. *)
 
 type placed = { buf : Circuit.Buffer_lib.t; dist : float }
 (** A buffer planted [dist] um above the port along the run. *)
@@ -54,18 +67,62 @@ val eval :
   ?place:(cur:(float[@cts.unit "um"]) -> (float[@cts.unit "um"]) ->
           (float[@cts.unit "um"]) option) ->
   Delaylib.t -> Cts_config.t -> Port.t -> (float[@cts.unit "um"]) -> eval
-(** [eval dl cfg port length] analyzes a run of [length] um.
+(** [eval dl cfg port length] analyzes a run of [length] um with the
+    engine selected by [cfg.insertion].
 
     [place ~cur ideal] legalizes a planned buffer position [ideal]
     (distance from the port along the run; [cur] is the previous buffer's
     position) against placement blockages: it may pull the position back
     toward [cur] (always slew-safe) or, when everything between [cur] and
     [ideal] is blocked, push it forward past the blockage; [None] means
-    no legal position exists anywhere up the rest of the path. Forced
-    forward jumps exceeding the span budget by more than 15%, a [None],
-    or a degenerate legalized position mark the run infeasible (the
-    merge-node guard legalizes a buffer near the merge point in that
-    case). Default: no blockages, [Some ideal]. *)
+    no legal position exists anywhere up the rest of the path. For the
+    greedy engine, forced forward jumps exceeding the span budget by more
+    than 15%, a [None], or a degenerate legalized position mark the run
+    infeasible (the merge-node guard legalizes a buffer near the merge
+    point in that case). Default: no blockages, [Some ideal].
+
+    Under [Optimal_dp] the greedy solution is kept as an incumbent: the
+    result is whichever of {!eval_greedy} and {!eval_dp} is feasible and
+    cheaper under {!run_cost}, so the DP engine is never worse than
+    greedy on the shared objective. [Obs.Dp_fallbacks] counts the runs
+    where greedy won. *)
+
+val eval_greedy :
+  ?place:(cur:(float[@cts.unit "um"]) -> (float[@cts.unit "um"]) ->
+          (float[@cts.unit "um"]) option) ->
+  Delaylib.t -> Cts_config.t -> Port.t -> (float[@cts.unit "um"]) -> eval
+(** The slew-driven greedy engine (see {!eval} for the [place]
+    contract), regardless of [cfg.insertion]. *)
+
+val eval_dp :
+  ?positions:(float[@cts.unit "um"]) list ->
+  ?place:(cur:(float[@cts.unit "um"]) -> (float[@cts.unit "um"]) ->
+          (float[@cts.unit "um"]) option) ->
+  Delaylib.t -> Cts_config.t -> Port.t -> (float[@cts.unit "um"]) -> eval
+(** The candidate-set DP engine, regardless of [cfg.insertion].
+
+    Candidate buffer positions default to a uniform [cfg.dp_grid]-slot
+    grid over the run, each slot legalized through [place]; [positions]
+    (distances from the port, any order) overrides the grid — the
+    brute-force optimality cross-check in the test suite uses it to pin
+    both searches to the same discrete position set. Degenerate
+    candidates (within 1 um of the port or the previous candidate, or
+    within 0.5 um of the run top) are dropped, mirroring the greedy
+    engine's bail-outs.
+
+    Always returns an [eval]; the buffer-free base solution exists even
+    when no buffered chain is slew-feasible, and [feasible] reports
+    whether the returned top stub passes the assumed-driver check. *)
+
+val run_cost :
+  Delaylib.t -> Cts_config.t -> eval ->
+  (float[@cts.unit "ps"]) * (float[@cts.unit "dimensionless"])
+(** [(cost, area)] of an [eval] under the DP objective: [delay_below]
+    plus the assumed-driver wire delay over the top stub plus
+    [cfg.dp_area_weight] per unit of inserted buffer area ({!
+    Circuit.Buffer_lib.area_x} units); [area] is that total area. The
+    optimality oracle compares engines with this — lower [(cost, area)]
+    lexicographically is better. *)
 
 val choose_buffer :
   Delaylib.t -> Cts_config.t -> stub_len:float -> load_cap:float ->

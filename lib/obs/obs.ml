@@ -25,6 +25,10 @@ type counter =
   | Placer_infeasible
   | Run_evals
   | Run_buffers_placed
+  | Dp_evals
+  | Dp_candidates
+  | Dp_pruned
+  | Dp_fallbacks
   | Span_cache_hits
   | Span_cache_misses
   | Delay_evals_single
@@ -35,7 +39,7 @@ type counter =
   | Topology_edge_costs
   | Topology_pairings
 
-type histogram = Buffers_per_level | Merges_per_level
+type histogram = Buffers_per_level | Merges_per_level | Dp_candidates_per_level
 
 let counter_index = function
   | Maze_selects -> 0
@@ -49,25 +53,30 @@ let counter_index = function
   | Placer_infeasible -> 8
   | Run_evals -> 9
   | Run_buffers_placed -> 10
-  | Span_cache_hits -> 11
-  | Span_cache_misses -> 12
-  | Delay_evals_single -> 13
-  | Delay_evals_branch -> 14
-  | Char_sims -> 15
-  | Timing_stages -> 16
-  | Timing_analyses -> 17
-  | Topology_edge_costs -> 18
-  | Topology_pairings -> 19
+  | Dp_evals -> 11
+  | Dp_candidates -> 12
+  | Dp_pruned -> 13
+  | Dp_fallbacks -> 14
+  | Span_cache_hits -> 15
+  | Span_cache_misses -> 16
+  | Delay_evals_single -> 17
+  | Delay_evals_branch -> 18
+  | Char_sims -> 19
+  | Timing_stages -> 20
+  | Timing_analyses -> 21
+  | Topology_edge_costs -> 22
+  | Topology_pairings -> 23
 
-let n_counters = 20
+let n_counters = 24
 
 let all_counters =
   [
     Maze_selects; Maze_bins_evaluated; Eval_cache_hits; Eval_cache_misses;
     Snake_stages; Bisection_iters; Merges_routed; Placer_adjusted;
-    Placer_infeasible; Run_evals; Run_buffers_placed; Span_cache_hits;
-    Span_cache_misses; Delay_evals_single; Delay_evals_branch; Char_sims;
-    Timing_stages; Timing_analyses; Topology_edge_costs; Topology_pairings;
+    Placer_infeasible; Run_evals; Run_buffers_placed; Dp_evals; Dp_candidates;
+    Dp_pruned; Dp_fallbacks; Span_cache_hits; Span_cache_misses;
+    Delay_evals_single; Delay_evals_branch; Char_sims; Timing_stages;
+    Timing_analyses; Topology_edge_costs; Topology_pairings;
   ]
 
 let counter_name = function
@@ -82,6 +91,10 @@ let counter_name = function
   | Placer_infeasible -> "place.infeasible"
   | Run_evals -> "run.evals"
   | Run_buffers_placed -> "run.buffers_placed"
+  | Dp_evals -> "dp.evals"
+  | Dp_candidates -> "dp.candidates"
+  | Dp_pruned -> "dp.pruned"
+  | Dp_fallbacks -> "dp.fallbacks"
   | Span_cache_hits -> "run.span_cache_hits"
   | Span_cache_misses -> "run.span_cache_misses"
   | Delay_evals_single -> "delaylib.evals_single"
@@ -92,12 +105,18 @@ let counter_name = function
   | Topology_edge_costs -> "topology.edge_costs"
   | Topology_pairings -> "topology.pairings"
 
-let all_histograms = [ Buffers_per_level; Merges_per_level ]
-let histogram_index = function Buffers_per_level -> 0 | Merges_per_level -> 1
+let all_histograms =
+  [ Buffers_per_level; Merges_per_level; Dp_candidates_per_level ]
+
+let histogram_index = function
+  | Buffers_per_level -> 0
+  | Merges_per_level -> 1
+  | Dp_candidates_per_level -> 2
 
 let histogram_name = function
   | Buffers_per_level -> "buffers_per_level"
   | Merges_per_level -> "merges_per_level"
+  | Dp_candidates_per_level -> "dp_candidates_per_level"
 
 (* ------------------------------------------------------------------ *)
 (* Storage                                                             *)

@@ -48,6 +48,12 @@ type counter =
   | Placer_infeasible  (** Runs with no legal buffer position left. *)
   | Run_evals  (** Slew-driven run analyses ({!Run.eval} calls). *)
   | Run_buffers_placed  (** Buffers planted by run analyses. *)
+  | Dp_evals  (** Candidate-set DP run analyses ({!Run.eval_dp} calls). *)
+  | Dp_candidates  (** DP candidate states generated (before pruning). *)
+  | Dp_pruned  (** DP candidates dropped as inferior (Li–Shi prune). *)
+  | Dp_fallbacks
+      (** DP evals where the greedy incumbent won (or the DP had no
+          feasible complete solution). *)
   | Span_cache_hits  (** {!Run.span} memo hits. *)
   | Span_cache_misses  (** {!Run.span} memo misses (one per distinct key). *)
   | Delay_evals_single  (** Single-wire delay-library lookups. *)
@@ -61,6 +67,9 @@ type counter =
 type histogram =
   | Buffers_per_level  (** Buffers committed per merge level. *)
   | Merges_per_level  (** Merges committed per merge level. *)
+  | Dp_candidates_per_level
+      (** DP candidate states generated per merge level (empty under the
+          greedy insertion engine). *)
 
 val counter_name : counter -> string
 (** Stable dotted identifier (["maze.bins_evaluated"], ...) used by the

@@ -43,8 +43,7 @@ type t = {
 let round3 x = Float.round (x *. 1e3) /. 1e3
 let ps x = round3 (x *. 1e12)
 
-let buffer_area_x (b : Circuit.Buffer_lib.t) =
-  b.Circuit.Buffer_lib.size +. b.Circuit.Buffer_lib.stage1_size
+let buffer_area_x = Circuit.Buffer_lib.area_x
 
 (* ------------------------------------------------------------------ *)
 (* Capture                                                             *)

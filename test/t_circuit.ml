@@ -38,6 +38,19 @@ let buffer_drive_resistance_inverse () =
   let r20 = B.drive_resistance tech (B.by_name lib "BUF20X") in
   check_f 1e-6 "halves with doubling" (r10 /. 2.) r20
 
+let by_name_unknown_cell_names_the_library () =
+  (* Regression: a missing cell used to escape as a bare [Not_found]
+     that said nothing about which lookup failed or what was
+     available. *)
+  Alcotest.check_raises "unknown cell"
+    (Invalid_argument
+       "Buffer_lib.by_name: no cell \"BUF99X\" in library [BUF10X; BUF20X; \
+        BUF30X]") (fun () -> ignore (B.by_name B.default_library "BUF99X"))
+
+let area_x_sums_both_stages () =
+  let b = B.by_name B.default_library "BUF20X" in
+  check_f 1e-9 "stage2 + stage1" 25. (B.area_x b)
+
 let buffer_rejects_bad_size () =
   Alcotest.check_raises "non-positive"
     (Invalid_argument "Buffer_lib.make: non-positive size") (fun () ->
@@ -141,6 +154,10 @@ let suite =
     Alcotest.test_case "buffer caps scale" `Quick buffer_caps_scale_with_size;
     Alcotest.test_case "drive resistance" `Quick buffer_drive_resistance_inverse;
     Alcotest.test_case "buffer size validation" `Quick buffer_rejects_bad_size;
+    Alcotest.test_case "by_name unknown cell diagnostic" `Quick
+      by_name_unknown_cell_names_the_library;
+    Alcotest.test_case "area_x sums both stages" `Quick
+      area_x_sums_both_stages;
     Alcotest.test_case "nmos regions" `Quick nmos_cutoff_and_regions;
     Alcotest.test_case "nmos size scaling" `Quick nmos_scales_with_size;
     Alcotest.test_case "inverter directions" `Quick inverter_pull_directions;

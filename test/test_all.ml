@@ -24,6 +24,7 @@ let () =
       ("robust", T_robust.suite);
       ("bounded", T_bounded.suite);
       ("parallel", T_parallel.suite);
+      ("insertion", T_insertion.suite);
       ("obs", T_obs.suite);
       ("qor", T_qor.suite);
       ("bench_cli", T_bench_cli.suite);
