@@ -48,8 +48,10 @@ qor-baseline-dp:
 	cp BENCH_qor_dp.json bench/baselines/BENCH_qor_dp.json
 	@echo "baseline refreshed: bench/baselines/BENCH_qor_dp.json"
 
-# Determinism / domain-safety rules (L1-L5) plus the physical-units
-# checker (U1-U4); see DESIGN.md sections 5e/5f.
+# All three lint passes: determinism / domain-safety rules (L1-L5),
+# the physical-units checker (U1-U4) and the concurrency-effect race
+# analyzer (C1-C5); see DESIGN.md sections 5e/5f/5h. This one target
+# is the local pre-commit story.
 lint:
 	dune build @lint
 
@@ -59,6 +61,13 @@ lint-units:
 	dune build bin/cts_lint.exe
 	dune exec --no-build bin/cts_lint.exe -- --only-units \
 	  --json lint_report.json lib bin
+
+# Race analyzer alone (C1-C5): verifies every [@cts.guarded] claim
+# instead of trusting it. CI uploads the JSON report as an artifact.
+lint-race:
+	dune build bin/cts_lint.exe
+	dune exec --no-build bin/cts_lint.exe -- --only-race \
+	  --json race_report.json lib bin
 
 # Smoke-check the seeded lint fixtures: each must still trigger its
 # rule, or the fixture (and the test pinned to it) has rotted.
@@ -71,7 +80,14 @@ lint-fixtures:
 	  grep -q "\"rule\": \"$$r\"" lint_fixtures.json \
 	    || { echo "lint-fixtures: rule $$r did not fire"; exit 1; }; \
 	done
-	@echo "lint-fixtures: all seeded fixtures fire (U1-U4)"
+	@if dune exec --no-build bin/cts_lint.exe -- --only-race \
+	  --json race_fixtures.json test/fixtures/lint/race > /dev/null; then \
+	  echo "lint-fixtures: expected race diagnostics, got none"; exit 1; fi
+	@for r in C1 C2 C3 C4 C5; do \
+	  grep -q "\"rule\": \"$$r\"" race_fixtures.json \
+	    || { echo "lint-fixtures: rule $$r did not fire"; exit 1; }; \
+	done
+	@echo "lint-fixtures: all seeded fixtures fire (U1-U4, C1-C5)"
 
 # Observability smoke test: synthesize a small synthetic benchmark with
 # --stats and --trace, then validate the emitted Chrome trace JSON.
@@ -91,5 +107,5 @@ clean:
 	dune clean
 
 .PHONY: all test test-par bench bench-full bench-par qor-gate qor-baseline \
-        qor-gate-dp qor-baseline-dp lint lint-units lint-fixtures \
-        trace-smoke examples clean
+        qor-gate-dp qor-baseline-dp lint lint-units lint-race \
+        lint-fixtures trace-smoke examples clean

@@ -1,29 +1,38 @@
-(* Determinism / domain-safety / units lint driver.
+(* Determinism / domain-safety / units / race lint driver.
 
-   Usage: cts_lint [--units] [--only-units] [--json FILE] [DIR-OR-FILE ...]
+   Usage: cts_lint [--units] [--only-units] [--race] [--only-race]
+                   [--json FILE] [DIR-OR-FILE ...]
    (default paths: lib bin)
 
    --units       run the physical-units checker (U1-U4) in addition to
                  the determinism rules (L1-L5)
    --only-units  run only the units checker
+   --race        run the concurrency-effect race analyzer (C1-C5) in
+                 addition to the determinism rules
+   --only-race   run only the race analyzer
    --json FILE   additionally write the diagnostics as canonical JSON
                  (Obs_json writer, stable (file,line,col,rule) order);
-                 the human-readable report still goes to stdout
+                 FILE may be "-" for stdout; the human-readable report
+                 still goes to stdout
 
-   Exits 1 if any diagnostic is reported, 0 otherwise, 2 if there was
-   nothing to lint. Run from the repository root so that rule scoping
-   by relative path (lib/cts_core, lib/report, ...) applies; paths are
-   normalized (see Lint.normalize_path), so ./-prefixed and absolute
-   spellings of repository files scope identically. *)
+   Exits 1 if any diagnostic is reported, 0 otherwise, 2 on usage
+   errors, an unwritable --json path, or nothing to lint. Run from the
+   repository root so that rule scoping by relative path (lib/cts_core,
+   lib/report, ...) applies; paths are normalized (see
+   Lint.normalize_path), so ./-prefixed and absolute spellings of
+   repository files scope identically. *)
 
 let usage () =
   prerr_endline
-    "usage: cts_lint [--units] [--only-units] [--json FILE] [DIR-OR-FILE ...]";
+    "usage: cts_lint [--units] [--only-units] [--race] [--only-race] [--json \
+     FILE] [DIR-OR-FILE ...]";
   exit 2
 
 let () =
   let units = ref false in
   let only_units = ref false in
+  let race = ref false in
+  let only_race = ref false in
   let json_out = ref None in
   let paths = ref [] in
   let rec parse_args = function
@@ -33,6 +42,12 @@ let () =
         parse_args rest
     | "--only-units" :: rest ->
         only_units := true;
+        parse_args rest
+    | "--race" :: rest ->
+        race := true;
+        parse_args rest
+    | "--only-race" :: rest ->
+        only_race := true;
         parse_args rest
     | "--json" :: file :: rest ->
         json_out := Some file;
@@ -59,35 +74,22 @@ let () =
   let ml_count =
     List.length (List.filter (fun f -> Filename.check_suffix f ".ml") files)
   in
+  let base = not (!only_units || !only_race) in
   let diags =
-    let l = if !only_units then [] else Lint.lint_paths files in
+    let l = if base then Lint.lint_paths files else [] in
     let u = if !units || !only_units then Units.check_paths files else [] in
-    Lint.sort_diagnostics (l @ u)
+    let c = if !race || !only_race then Race.check_paths files else [] in
+    Lint.sort_diagnostics (l @ u @ c)
   in
   (match !json_out with
   | None -> ()
-  | Some file ->
-      let open Obs_json in
-      let json =
-        Obj
-          [
-            ("files_scanned", Num (float_of_int ml_count));
-            ( "diagnostics",
-              Arr
-                (List.map
-                   (fun (d : Lint.diagnostic) ->
-                     Obj
-                       [
-                         ("rule", Str d.rule);
-                         ("file", Str d.file);
-                         ("line", Num (float_of_int d.line));
-                         ("col", Num (float_of_int d.col));
-                         ("message", Str d.message);
-                       ])
-                   diags) );
-          ]
-      in
-      write_file file json);
+  | Some file -> (
+      let json = Lint_report.json_of ~files_scanned:ml_count diags in
+      match Lint_report.write ~path:file json with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "cts_lint: cannot write JSON report: %s\n" msg;
+          exit 2));
   List.iter (fun d -> print_endline (Lint.to_string d)) diags;
   match diags with
   | [] -> Printf.printf "cts_lint: %d files clean\n" ml_count

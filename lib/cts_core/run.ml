@@ -23,7 +23,7 @@ type eval = {
 let span_cache : (string * float * float, float) Hashtbl.t = Hashtbl.create 64
 let span_mutex = Mutex.create ()
 
-let[@cts.guarded "mutex"] span dl (cfg : Cts_config.t) ~drive ~load_cap =
+let[@cts.guarded "mutex:span_mutex"] span dl (cfg : Cts_config.t) ~drive ~load_cap =
   let class_cap = Delaylib.load_class_cap dl load_cap in
   let key = (drive.Buffer_lib.name, class_cap, cfg.slew_target) in
   Mutex.lock span_mutex;
@@ -46,7 +46,7 @@ let[@cts.guarded "mutex"] span dl (cfg : Cts_config.t) ~drive ~load_cap =
 (* The cache is process-global and outlives one synthesis; tests that
    compare counter snapshots across runs reset it so both runs pay the
    same misses. *)
-let[@cts.guarded "mutex"] reset_span_cache () =
+let[@cts.guarded "mutex:span_mutex"] reset_span_cache () =
   Mutex.lock span_mutex;
   Hashtbl.reset span_cache;
   Mutex.unlock span_mutex

@@ -344,12 +344,24 @@ let guards_of_attrs ctx g attrs =
     (fun g (a : attribute) ->
       match a.attr_name.Location.txt with
       | "cts.guarded" -> (
-          match string_payload a.attr_payload with
-          | Some m when List.mem m mechanisms -> { g with guard = Some m }
-          | Some _ | None ->
+          (* A "mutex:NAME" payload names the specific lock; the race
+             analyzer (race.ml) verifies the name, L1 only accepts the
+             shape. *)
+          let mechanism_of m =
+            if List.mem m mechanisms then Some m
+            else
+              match String.index_opt m ':' with
+              | Some i
+                when String.sub m 0 i = "mutex" && i + 1 < String.length m ->
+                  Some "mutex"
+              | _ -> None
+          in
+          match Option.bind (string_payload a.attr_payload) mechanism_of with
+          | Some m -> { g with guard = Some m }
+          | None ->
               diag ctx "L1" a.attr_loc
                 "[@cts.guarded] must name its mechanism: \"replay-log\", \
-                 \"mutex\", \"atomic\" or \"domain-local\"";
+                 \"mutex[:NAME]\", \"atomic\" or \"domain-local\"";
               g)
       | "cts.float_eq_ok" -> { g with feq = true }
       | _ -> g)

@@ -14,7 +14,7 @@
       [Buffer.add*], [Queue]/[Stack]/[Atomic] writes) may be reachable
       from a function submitted to a [Parallel] pool unless an
       enclosing definition carries
-      [[@cts.guarded "replay-log" | "mutex" | "atomic" |
+      [[@cts.guarded "replay-log" | "mutex[:NAME]" | "atomic" |
       "domain-local"]] ("domain-local" covers [Domain.DLS]-sharded
       accumulators such as the {!Obs} counter store, merged
       deterministically by the coordinator).
@@ -38,8 +38,10 @@
       [Domain-safety:] doc line.
 
     A [[@cts.guarded]] attribute whose payload is missing or is not
-    one of the four known mechanisms is itself reported (rule L1):
-    blanket suppressions are not accepted. *)
+    one of the four known mechanisms (a ["mutex:NAME"] payload naming
+    the specific lock is accepted; {!Race} verifies the name) is
+    itself reported (rule L1): blanket suppressions are not
+    accepted. *)
 
 type diagnostic = {
   rule : string;  (** "L1" .. "L5", or "syntax" for unparseable input. *)

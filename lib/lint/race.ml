@@ -1,0 +1,1307 @@
+(* Interprocedural concurrency-effect race analyzer (C1-C5).
+   See race.mli for the rule set.
+
+   Pass 1 walks every top-level definition into an effect summary.
+   The walk threads a flow-sensitive lock state through sequences and
+   let-chains: [Mutex.lock m] pushes the resolved identity of [m],
+   [Mutex.unlock m] pops it, [Mutex.protect m f] brackets the walk of
+   [f]'s body. Branches are walked with the entry state and join back
+   to it (the repository convention is balanced lock/unlock per
+   definition; an unbalanced branch only makes the analysis
+   conservative, never silent). Lambdas are walked under the current
+   lock state — [Fun.protect] runs its thunk immediately — except the
+   deferred-execution closures (arguments of [Parallel.map/iter] and
+   [Domain.spawn]), which start fresh root summaries with an empty
+   lock state: a task never inherits its submitter's locks.
+
+   Pass 2 computes fixpoints over the call graph (transitive lock
+   acquisition for C3, transitive Domain.DLS use for "domain-local"
+   claim verification, transitive may-block for C4) and the set of
+   summaries reachable from pool-task roots.
+
+   Pass 3 emits C1-C5. Everything is emitted into one list and sorted
+   through Lint.sort_diagnostics, and all cross-function grouping
+   (C2 lock-set comparison, C3 pair matching) sorts its sites first,
+   so the report is identical under any file-visit order. *)
+
+open Parsetree
+
+(* ------------------------------------------------------------------ *)
+(* Small syntactic helpers (shared shape with lint.ml)                  *)
+
+let dotted segs =
+  match List.rev segs with
+  | [] -> ""
+  | [ x ] -> x
+  | x :: m :: _ -> m ^ "." ^ x
+
+let apply_head e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (Longident.flatten txt)
+  | _ -> None
+
+let module_name_of path =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename path))
+
+let pattern_vars p =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+              acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.pat it p;
+  !acc
+
+let string_payload = function
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+(* Does the expression syntactically involve a Domain.DLS access?
+   (Used for dls-derived bindings and the C5 escape check.) *)
+let mentions_dls e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e' ->
+          (match e'.pexp_desc with
+          | Pexp_ident { txt; _ } -> (
+              match Longident.flatten txt with
+              | [ "Domain"; "DLS"; _ ] | [ "DLS"; _ ] -> found := true
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e');
+    }
+  in
+  it.expr it e;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Primitive tables                                                     *)
+
+(* Mutation primitives: resolved head -> (mutated argument index,
+   stored-value argument index if meaningful for C5). *)
+let write_prims =
+  [
+    (":=", (0, Some 1)); ("incr", (0, None)); ("decr", (0, None));
+    ("Hashtbl.replace", (0, Some 2)); ("Hashtbl.add", (0, Some 2));
+    ("Hashtbl.remove", (0, None)); ("Hashtbl.reset", (0, None));
+    ("Hashtbl.clear", (0, None)); ("Hashtbl.filter_map_inplace", (1, None));
+    ("Array.set", (0, Some 2)); ("Array.unsafe_set", (0, Some 2));
+    ("Array.fill", (0, Some 3)); ("Array.blit", (2, None));
+    ("Array.sort", (1, None)); ("Array.fast_sort", (1, None));
+    ("Array.stable_sort", (1, None));
+    ("Bytes.set", (0, None)); ("Bytes.unsafe_set", (0, None));
+    ("Bytes.fill", (0, None)); ("Bytes.blit", (2, None));
+    ("Buffer.add_string", (0, None)); ("Buffer.add_char", (0, None));
+    ("Buffer.add_bytes", (0, None)); ("Buffer.add_buffer", (0, None));
+    ("Buffer.add_substring", (0, None)); ("Buffer.add_subbytes", (0, None));
+    ("Buffer.clear", (0, None)); ("Buffer.reset", (0, None));
+    ("Buffer.truncate", (0, None));
+    ("Queue.add", (1, Some 0)); ("Queue.push", (1, Some 0));
+    ("Queue.pop", (0, None)); ("Queue.take", (0, None));
+    ("Queue.clear", (0, None)); ("Queue.transfer", (0, None));
+    ("Stack.push", (1, Some 0)); ("Stack.pop", (0, None));
+    ("Stack.clear", (0, None));
+    ("Atomic.set", (0, Some 1)); ("Atomic.exchange", (0, Some 1));
+    ("Atomic.compare_and_set", (0, Some 2));
+    ("Atomic.fetch_and_add", (0, None)); ("Atomic.incr", (0, None));
+    ("Atomic.decr", (0, None));
+  ]
+
+let is_atomic_prim d =
+  String.length d > 7 && String.sub d 0 7 = "Atomic."
+
+let fresh_allocs =
+  [
+    "ref"; "Hashtbl.create"; "Hashtbl.copy"; "Queue.create"; "Queue.copy";
+    "Buffer.create"; "Stack.create"; "Atomic.make"; "Mutex.create";
+    "Condition.create"; "Array.make"; "Array.init"; "Array.create_float";
+    "Array.of_list"; "Array.copy"; "Array.make_matrix"; "Array.append";
+    "Array.concat"; "Array.sub"; "Array.map"; "Array.mapi"; "Bytes.create";
+    "Bytes.make"; "Bytes.copy"; "Bytes.of_string";
+  ]
+
+(* Module-level binding classification (pre-pass). *)
+let mutex_allocs = [ "Mutex.create" ]
+let atomic_allocs = [ "Atomic.make" ]
+let dls_allocs = [ "Domain.DLS.new_key"; "DLS.new_key" ]
+
+(* Blocking / allocating-heavy primitives for C4. [Condition.wait] is
+   deliberately absent: it releases the mutex while waiting, which is
+   the one blessed blocking-under-lock pattern. [Printf.sprintf] and
+   friends are absent too — no shared channel involved. *)
+let blocking_prims =
+  [
+    "input_line"; "input_char"; "input_byte"; "input_value"; "input";
+    "really_input"; "really_input_string"; "read_line"; "read_int";
+    "read_int_opt"; "read_float"; "read_float_opt";
+    "open_in"; "open_in_bin"; "open_in_gen";
+    "open_out"; "open_out_bin"; "open_out_gen";
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes";
+    "prerr_string"; "prerr_endline"; "prerr_newline"; "prerr_char";
+    "output_string"; "output_char"; "output_bytes"; "output";
+    "output_substring"; "output_value"; "flush"; "flush_all";
+    "Printf.printf"; "Printf.eprintf"; "Printf.fprintf"; "Printf.kfprintf";
+    "Printf.ifprintf"; "Format.printf"; "Format.eprintf"; "Format.fprintf";
+    "Sys.command"; "Thread.delay"; "Domain.join";
+  ]
+
+let blocking_modules = [ "Unix"; "In_channel"; "Out_channel" ]
+
+let blocking_head segs =
+  let d = dotted segs in
+  if List.mem d blocking_prims then Some d
+  else
+    match segs with
+    | m :: _ :: _ when List.mem m blocking_modules -> Some d
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Claims                                                               *)
+
+type claim = {
+  cl_mech : string;  (* "mutex" | "atomic" | "replay-log" | "domain-local" *)
+  cl_lock : string option;  (* the NAME of a "mutex:NAME" payload *)
+  cl_file : string;
+  cl_line : int;
+  cl_col : int;
+  mutable cl_used : bool;  (* some mutation was recorded in its scope *)
+}
+
+let parse_mechanism s =
+  let mechanisms = [ "replay-log"; "mutex"; "atomic"; "domain-local" ] in
+  if List.mem s mechanisms then Some (s, None)
+  else
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "mutex" && i + 1 < String.length s ->
+        Some ("mutex", Some (String.sub s (i + 1) (String.length s - i - 1)))
+    | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Summaries                                                            *)
+
+type wclass =
+  | W_local  (* freshly allocated in scope: never reported *)
+  | W_param  (* rooted at a function parameter (caller-provided handle) *)
+  | W_opaque  (* rooted at a let-bound value of unknown provenance *)
+  | W_shared of string  (* resolved module-level identity *)
+  | W_dls  (* rooted at a Domain.DLS.get result *)
+
+type write = {
+  w_prim : string;
+  w_class : wclass;
+  w_id : string option;  (* stable identity for C2 grouping *)
+  w_atomic : bool;
+  w_value_dls : bool;  (* stored value derives from Domain.DLS (C5) *)
+  w_locks : string list;  (* held at the write, outermost first *)
+  w_claim : claim option;
+  w_loc : Location.t;
+}
+
+type info = {
+  i_file : string;
+  i_mod : string;
+  i_name : string;  (* definition name, or "<task@line>" for roots *)
+  mutable i_writes : write list;
+  mutable i_calls : (string * string * string list * Location.t) list;
+      (* (module ("" = same), name, locks held at the reference, loc) *)
+  mutable i_acquires : (string * Location.t) list;
+  mutable i_pairs : (string * string * Location.t) list;
+      (* (outer, inner): inner acquired while outer held, same body *)
+  mutable i_blocking : (string * string list * Location.t) list;
+  mutable i_dls : bool;
+  (* pass-2 results *)
+  mutable i_trans_dls : bool;
+  mutable i_trans_acq : string list;
+  mutable i_may_block : string option;  (* witness call chain *)
+}
+
+type global = {
+  defs : (string * string, info) Hashtbl.t;
+  mutable infos : info list;  (* reverse insertion order *)
+  mutable roots : info list;
+  toplevel : (string * string, string) Hashtbl.t;
+      (* (Module, name) -> "mutex" | "atomic" | "dls-key" | "mutable" *)
+  mutable claims : claim list;
+  mutable diags : Lint.diagnostic list;
+}
+
+type fctx = {
+  f_path : string;
+  f_mod : string;
+  f_aliases : (string, string) Hashtbl.t;
+}
+
+type ctx = {
+  glob : global;
+  fc : fctx;
+  info : info;
+  defname : string;
+  in_root : bool;
+  claim : claim option;  (* innermost enclosing [@cts.guarded] *)
+  blocking_ok : bool;  (* [@cts.blocking_ok] in scope *)
+}
+
+let diag_at glob file (loc : Location.t) rule message =
+  let p = loc.Location.loc_start in
+  glob.diags <-
+    {
+      Lint.rule;
+      file;
+      line = p.Lexing.pos_lnum;
+      col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+      message;
+    }
+    :: glob.diags
+
+let get_def glob key file modname name =
+  match Hashtbl.find_opt glob.defs key with
+  | Some i -> i
+  | None ->
+      let i =
+        {
+          i_file = file;
+          i_mod = modname;
+          i_name = name;
+          i_writes = [];
+          i_calls = [];
+          i_acquires = [];
+          i_pairs = [];
+          i_blocking = [];
+          i_dls = false;
+          i_trans_dls = false;
+          i_trans_acq = [];
+          i_may_block = None;
+        }
+      in
+      Hashtbl.replace glob.defs key i;
+      glob.infos <- i :: glob.infos;
+      i
+
+(* ------------------------------------------------------------------ *)
+(* Environment                                                          *)
+
+module Env = Map.Make (String)
+
+type kind = KFresh | KFn | KParam | KDls | KPlain
+
+let rec kind_of_rhs e =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> KFn
+  | Pexp_record _ | Pexp_array _ -> KFresh
+  | Pexp_apply (f, _) -> (
+      match apply_head f with
+      | Some segs ->
+          let d = dotted segs in
+          if List.mem d fresh_allocs then KFresh
+          else if List.mem d dls_allocs || d = "DLS.get" then KDls
+          else if
+            match segs with
+            | [ "Domain"; "DLS"; "get" ] -> true
+            | _ -> false
+          then KDls
+          else KPlain
+      | None -> KPlain)
+  | Pexp_constraint (e', _) | Pexp_lazy e' -> kind_of_rhs e'
+  | _ -> if mentions_dls e then KDls else KPlain
+
+let bind_params env p =
+  List.fold_left (fun e v -> Env.add v KParam e) env (pattern_vars p)
+
+let bind_plain env p =
+  List.fold_left (fun e v -> Env.add v KPlain e) env (pattern_vars p)
+
+(* ------------------------------------------------------------------ *)
+(* Attributes                                                           *)
+
+let guards_of_attrs ctx (attrs : attributes) =
+  List.fold_left
+    (fun ctx (a : attribute) ->
+      match a.attr_name.Location.txt with
+      | "cts.guarded" -> (
+          match Option.map parse_mechanism (string_payload a.attr_payload) with
+          | Some (Some (mech, lock)) ->
+              let p = a.attr_loc.Location.loc_start in
+              let cl =
+                {
+                  cl_mech = mech;
+                  cl_lock = lock;
+                  cl_file = ctx.fc.f_path;
+                  cl_line = p.Lexing.pos_lnum;
+                  cl_col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+                  cl_used = false;
+                }
+              in
+              ctx.glob.claims <- cl :: ctx.glob.claims;
+              { ctx with claim = Some cl }
+          | Some None | None -> ctx (* malformed payloads are L1's job *))
+      | "cts.blocking_ok" -> { ctx with blocking_ok = true }
+      | _ -> ctx)
+    ctx attrs
+
+(* ------------------------------------------------------------------ *)
+(* Identity resolution                                                  *)
+
+let resolve_alias fc m =
+  match Hashtbl.find_opt fc.f_aliases m with Some t -> t | None -> m
+
+(* Resolved identity of a lock expression. Module-level mutexes get
+   their qualified path; record fields a field-keyed identity (every
+   [pool.mutex] is one lock as far as the analysis is concerned —
+   coarse, but exactly the granularity the repo's pool uses); locals
+   and parameters an opaque per-name identity. *)
+let rec lock_id ctx env e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> (
+      match Env.find_opt x env with
+      | Some (KParam | KPlain | KFn) -> "<local:" ^ x ^ ">"
+      | Some KFresh -> "<fresh:" ^ x ^ ">"
+      | Some KDls -> "<dls:" ^ x ^ ">"
+      | None -> ctx.fc.f_mod ^ "." ^ x)
+  | Pexp_ident { txt; _ } -> (
+      match List.rev (Longident.flatten txt) with
+      | x :: m :: _ -> resolve_alias ctx.fc m ^ "." ^ x
+      | [ x ] -> ctx.fc.f_mod ^ "." ^ x
+      | [] -> "<anon>")
+  | Pexp_field (_, { txt; _ }) -> (
+      match List.rev (Longident.flatten txt) with
+      | f :: _ -> "<." ^ f ^ ">"
+      | [] -> "<anon>")
+  | Pexp_constraint (e', _) -> lock_id ctx env e'
+  | _ -> "<anon>"
+
+(* Classify a mutation target: peel field projections down to the head
+   identifier, then decide locality from the environment or resolve a
+   module-level identity. *)
+let classify_target ctx env (target : expression option) =
+  match target with
+  | None -> (W_opaque, None)
+  | Some t ->
+      let rec peel fields e =
+        match e.pexp_desc with
+        | Pexp_field (e', { txt; _ }) ->
+            let f =
+              match List.rev (Longident.flatten txt) with
+              | x :: _ -> x
+              | [] -> "?"
+            in
+            peel (f :: fields) e'
+        | Pexp_constraint (e', _) -> peel fields e'
+        | _ -> (fields, e)
+      in
+      let fields, base = peel [] t in
+      let field_id () =
+        match fields with [] -> None | f :: _ -> Some ("<." ^ f ^ ">")
+      in
+      (match base.pexp_desc with
+      | Pexp_ident { txt = Longident.Lident x; _ } -> (
+          match Env.find_opt x env with
+          | Some KFresh -> (W_local, None)
+          | Some KDls -> (W_dls, None)
+          | Some (KParam | KFn) -> (W_param, field_id ())
+          | Some KPlain -> (W_opaque, field_id ())
+          | None ->
+              let id = ctx.fc.f_mod ^ "." ^ x in
+              (W_shared id, Some id))
+      | Pexp_ident { txt; _ } -> (
+          match List.rev (Longident.flatten txt) with
+          | x :: m :: _ ->
+              let id = resolve_alias ctx.fc m ^ "." ^ x in
+              (W_shared id, Some id)
+          | _ -> (W_opaque, field_id ()))
+      | Pexp_apply (f, _) -> (
+          (* A projection through a call: [ (current ()).counts ].
+             DLS-returning callees make the target domain-local. *)
+          match apply_head f with
+          | Some segs when List.mem (dotted segs) dls_allocs -> (W_dls, None)
+          | Some [ "Domain"; "DLS"; "get" ] | Some [ "DLS"; "get" ] ->
+              (W_dls, None)
+          | _ -> (W_opaque, field_id ()))
+      | _ -> (W_opaque, field_id ()))
+
+(* ------------------------------------------------------------------ *)
+(* The walker                                                           *)
+
+let nolabel_args args =
+  List.filter_map
+    (fun (lbl, e) -> match lbl with Asttypes.Nolabel -> Some e | _ -> None)
+    args
+
+let add_call ctx locks (edge : string * string) loc =
+  let m, n = edge in
+  ctx.info.i_calls <- (m, n, locks, loc) :: ctx.info.i_calls
+
+let note_ref ctx env locks (lid : Longident.t) loc =
+  match Longident.flatten lid with
+  | [ x ] -> (
+      match Env.find_opt x env with
+      | Some KFn ->
+          (* Local function referenced from a pool-task lambda: link
+             the root to the whole enclosing definition. *)
+          if ctx.in_root then add_call ctx locks ("", ctx.defname) loc
+      | Some _ -> ()
+      | None -> add_call ctx locks ("", x) loc)
+  | _ :: _ :: _ as segs -> (
+      match List.rev segs with
+      | n :: m :: _ -> add_call ctx locks (resolve_alias ctx.fc m, n) loc
+      | _ -> ())
+  | [] -> ()
+
+let record_write ctx env locks ~prim ~atomic target value loc =
+  let cls, id = classify_target ctx env target in
+  (match ctx.claim with
+  | Some cl when cls <> W_local -> cl.cl_used <- true
+  | _ -> ());
+  if cls <> W_local then
+    ctx.info.i_writes <-
+      {
+        w_prim = prim;
+        w_class = cls;
+        w_id = id;
+        w_atomic = atomic;
+        w_value_dls =
+          (match value with Some v -> mentions_dls v | None -> false)
+          || (match value with
+             | Some { pexp_desc = Pexp_ident { txt = Longident.Lident x; _ }; _ }
+               ->
+                 Env.find_opt x env = Some KDls
+             | _ -> false);
+        w_locks = locks;
+        w_claim = ctx.claim;
+        w_loc = loc;
+      }
+      :: ctx.info.i_writes
+
+let acquire ctx locks l loc =
+  ctx.info.i_acquires <- (l, loc) :: ctx.info.i_acquires;
+  List.iter (fun h -> ctx.info.i_pairs <- (h, l, loc) :: ctx.info.i_pairs) locks;
+  locks @ [ l ]
+
+let release locks l =
+  (* Drop the innermost occurrence. *)
+  let rec go = function
+    | [] -> []
+    | x :: tl -> if x = l && not (List.mem l tl) then tl else x :: go tl
+  in
+  go locks
+
+let mk_root ctx (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  let rinfo =
+    {
+      i_file = ctx.fc.f_path;
+      i_mod = ctx.fc.f_mod;
+      i_name = Printf.sprintf "<task@%d>" p.Lexing.pos_lnum;
+      i_writes = [];
+      i_calls = [];
+      i_acquires = [];
+      i_pairs = [];
+      i_blocking = [];
+      i_dls = false;
+      i_trans_dls = false;
+      i_trans_acq = [];
+      i_may_block = None;
+    }
+  in
+  ctx.glob.roots <- rinfo :: ctx.glob.roots;
+  ctx.glob.infos <- rinfo :: ctx.glob.infos;
+  rinfo
+
+(* [walk] returns the lock state after the expression so sequences and
+   let-chains thread it. *)
+let rec walk ctx env locks e : string list =
+  let ctx = guards_of_attrs ctx e.pexp_attributes in
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+      note_ref ctx env locks txt e.pexp_loc;
+      (match txt with
+      | Longident.Ldot (Longident.Ldot (Longident.Lident "Domain", "DLS"), _)
+      | Longident.Ldot (Longident.Lident "DLS", _) ->
+          ctx.info.i_dls <- true
+      | _ -> ());
+      locks
+  | Pexp_apply (f, args) -> walk_apply ctx env locks e f args
+  | Pexp_setfield (tgt, fld, v) ->
+      let fname =
+        match List.rev (Longident.flatten fld.Location.txt) with
+        | x :: _ -> x
+        | [] -> "?"
+      in
+      record_write ctx env locks
+        ~prim:(Printf.sprintf "%s <- (mutable field set)" fname)
+        ~atomic:false
+        (Some { e with pexp_desc = Pexp_field (tgt, fld) })
+        (Some v) e.pexp_loc;
+      let locks' = walk ctx env locks tgt in
+      walk ctx env locks' v
+  | Pexp_setinstvar (_, v) ->
+      record_write ctx env locks ~prim:"<- (instance variable set)"
+        ~atomic:false None (Some v) e.pexp_loc;
+      walk ctx env locks v
+  | Pexp_let (rf, vbs, body) ->
+      let bound =
+        List.concat_map
+          (fun vb ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } -> [ (txt, kind_of_rhs vb.pvb_expr) ]
+            | _ -> List.map (fun v -> (v, KPlain)) (pattern_vars vb.pvb_pat))
+          vbs
+      in
+      let env' = List.fold_left (fun e (v, k) -> Env.add v k e) env bound in
+      let rhs_env = if rf = Asttypes.Recursive then env' else env in
+      let locks' =
+        List.fold_left
+          (fun lks vb ->
+            let ctx = guards_of_attrs ctx vb.pvb_attributes in
+            walk ctx rhs_env lks vb.pvb_expr)
+          locks vbs
+      in
+      walk ctx env' locks' body
+  | Pexp_fun (_, default, pat, body) ->
+      Option.iter (fun d -> ignore (walk ctx env locks d)) default;
+      ignore (walk ctx (bind_params env pat) locks body);
+      locks
+  | Pexp_function cases ->
+      walk_cases ctx env locks cases;
+      locks
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      let locks' = walk ctx env locks scrut in
+      walk_cases ctx env locks' cases;
+      locks'
+  | Pexp_ifthenelse (c, a, b) ->
+      let locks' = walk ctx env locks c in
+      ignore (walk ctx env locks' a);
+      Option.iter (fun b -> ignore (walk ctx env locks' b)) b;
+      locks'
+  | Pexp_sequence (a, b) ->
+      let locks' = walk ctx env locks a in
+      walk ctx env locks' b
+  | Pexp_while (c, body) ->
+      let locks' = walk ctx env locks c in
+      ignore (walk ctx env locks' body);
+      locks'
+  | Pexp_for (pat, lo, hi, _, body) ->
+      let locks' = walk ctx env locks lo in
+      let locks' = walk ctx env locks' hi in
+      ignore (walk ctx (bind_plain env pat) locks' body);
+      locks'
+  | _ ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr = (fun _ e' -> ignore (walk ctx env locks e'));
+          case =
+            (fun _ c ->
+              let env = bind_plain env c.pc_lhs in
+              Option.iter (fun g -> ignore (walk ctx env locks g)) c.pc_guard;
+              ignore (walk ctx env locks c.pc_rhs));
+          attributes = (fun _ _ -> ());
+          pat = (fun _ _ -> ());
+          typ = (fun _ _ -> ());
+        }
+      in
+      Ast_iterator.default_iterator.expr it e;
+      locks
+
+and walk_cases ctx env locks cases =
+  List.iter
+    (fun c ->
+      let env = bind_plain env c.pc_lhs in
+      Option.iter (fun g -> ignore (walk ctx env locks g)) c.pc_guard;
+      ignore (walk ctx env locks c.pc_rhs))
+    cases
+
+and walk_closure_as_root ctx env arg =
+  (* Deferred-execution closure: its effects belong to a fresh root
+     summary and it never inherits the submitter's lock state. *)
+  match arg.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ | Pexp_ident _ ->
+      let rinfo = mk_root ctx arg.pexp_loc in
+      ignore (walk { ctx with info = rinfo; in_root = true } env [] arg)
+  | _ -> ignore (walk ctx env [] arg)
+
+and walk_apply ctx env locks e f args =
+  match apply_head f with
+  | None ->
+      let locks' = walk ctx env locks f in
+      List.fold_left (fun lks (_, a) -> walk ctx env lks a) locks' args
+  | Some segs -> (
+      let d = dotted segs in
+      let pos = nolabel_args args in
+      match (d, pos) with
+      | "Mutex.lock", m :: _ ->
+          ignore (walk ctx env locks m);
+          acquire ctx locks (lock_id ctx env m) e.pexp_loc
+      | "Mutex.unlock", m :: _ ->
+          ignore (walk ctx env locks m);
+          release locks (lock_id ctx env m)
+      | "Mutex.protect", m :: rest ->
+          ignore (walk ctx env locks m);
+          let inner = acquire ctx locks (lock_id ctx env m) e.pexp_loc in
+          List.iter (fun a -> ignore (walk ctx env inner a)) rest;
+          locks
+      | ("Domain.spawn" | "Domain.Spawn.spawn"), args' ->
+          List.iter (walk_closure_as_root ctx env) args';
+          locks
+      | _ ->
+          let is_pool_submit =
+            match segs with
+            | [ m; ("map" | "iter") ] -> resolve_alias ctx.fc m = "Parallel"
+            | _ -> false
+          in
+          (* Mutation primitives. *)
+          (match List.assoc_opt d write_prims with
+          | Some (tgt_idx, val_idx) ->
+              let target = List.nth_opt pos tgt_idx in
+              let value =
+                Option.bind val_idx (fun i -> List.nth_opt pos i)
+              in
+              record_write ctx env locks ~prim:d ~atomic:(is_atomic_prim d)
+                target value e.pexp_loc
+          | None -> ());
+          (* Blocking calls. *)
+          (match blocking_head segs with
+          | Some b when not ctx.blocking_ok ->
+              ctx.info.i_blocking <- (b, locks, e.pexp_loc) :: ctx.info.i_blocking
+          | _ -> ());
+          ignore (walk ctx env locks f);
+          if is_pool_submit then begin
+            (* First positional argument is the pool, the rest carry
+               the task closures; walk closures as roots, everything
+               else normally. *)
+            List.iteri
+              (fun i a ->
+                if i = 0 then ignore (walk ctx env locks a)
+                else
+                  match a.pexp_desc with
+                  | Pexp_fun _ | Pexp_function _ ->
+                      walk_closure_as_root ctx env a
+                  | Pexp_ident _ ->
+                      (* Both: the name is callable from the task, and
+                         the reference itself is recorded normally. *)
+                      walk_closure_as_root ctx env a;
+                      ignore (walk ctx env locks a)
+                  | _ -> ignore (walk ctx env locks a))
+              pos;
+            List.iter
+              (fun (lbl, a) ->
+                match lbl with
+                | Asttypes.Nolabel -> ()
+                | _ -> ignore (walk ctx env locks a))
+              args;
+            locks
+          end
+          else
+            List.fold_left (fun lks (_, a) -> walk ctx env lks a) locks args)
+
+(* ------------------------------------------------------------------ *)
+(* Structure passes                                                     *)
+
+(* Pre-pass: classify module-level bindings (mutexes, atomics, DLS
+   keys, mutable containers) and record module aliases. *)
+let classify_toplevel glob fc (str : structure) =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ } -> (
+                  let rec head e =
+                    match e.pexp_desc with
+                    | Pexp_apply (f, _) -> apply_head f
+                    | Pexp_constraint (e', _) -> head e'
+                    | _ -> None
+                  in
+                  match head vb.pvb_expr with
+                  | Some segs ->
+                      let d = dotted segs in
+                      let full =
+                        match segs with
+                        | [ _; _; _ ] -> String.concat "." segs
+                        | _ -> d
+                      in
+                      let kind =
+                        if List.mem d mutex_allocs then Some "mutex"
+                        else if List.mem d atomic_allocs then Some "atomic"
+                        else if
+                          List.mem d dls_allocs || List.mem full dls_allocs
+                        then Some "dls-key"
+                        else if List.mem d fresh_allocs then Some "mutable"
+                        else None
+                      in
+                      Option.iter
+                        (fun k ->
+                          Hashtbl.replace glob.toplevel (fc.f_mod, txt) k)
+                        kind
+                  | None -> ())
+              | _ -> ())
+            vbs
+      | Pstr_module mb -> (
+          match (mb.pmb_name.Location.txt, mb.pmb_expr.pmod_desc) with
+          | Some alias, Pmod_ident { txt; _ } -> (
+              match List.rev (Longident.flatten txt) with
+              | last :: _ -> Hashtbl.replace fc.f_aliases alias last
+              | [] -> ())
+          | _ -> ())
+      | _ -> ())
+    str
+
+let do_structure glob fc (str : structure) =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let name =
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt; _ } -> txt
+                | _ ->
+                    Printf.sprintf "_top_%d"
+                      item.pstr_loc.Location.loc_start.Lexing.pos_lnum
+              in
+              let info =
+                get_def glob (fc.f_mod, name) fc.f_path fc.f_mod name
+              in
+              let ctx =
+                {
+                  glob;
+                  fc;
+                  info;
+                  defname = name;
+                  in_root = false;
+                  claim = None;
+                  blocking_ok = false;
+                }
+              in
+              let ctx = guards_of_attrs ctx vb.pvb_attributes in
+              ignore (walk ctx Env.empty [] vb.pvb_expr))
+            vbs
+      | Pstr_eval (e, attrs) ->
+          let info = get_def glob (fc.f_mod, "_eval") fc.f_path fc.f_mod "_eval" in
+          let ctx =
+            {
+              glob;
+              fc;
+              info;
+              defname = "_eval";
+              in_root = false;
+              claim = None;
+              blocking_ok = false;
+            }
+          in
+          let ctx = guards_of_attrs ctx attrs in
+          ignore (walk ctx Env.empty [] e)
+      | _ -> ())
+    str
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: fixpoints and reachability                                   *)
+
+let fixpoint glob =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun info ->
+        List.iter
+          (fun (m, n, locks, _) ->
+            let key = ((if m = "" then info.i_mod else m), n) in
+            match Hashtbl.find_opt glob.defs key with
+            | None -> ()
+            | Some callee ->
+                if callee == info then ()
+                else begin
+                  if callee.i_trans_dls && not info.i_trans_dls then begin
+                    info.i_trans_dls <- true;
+                    changed := true
+                  end;
+                  List.iter
+                    (fun l ->
+                      if not (List.mem l info.i_trans_acq) then begin
+                        info.i_trans_acq <- l :: info.i_trans_acq;
+                        changed := true
+                      end)
+                    callee.i_trans_acq;
+                  (match (callee.i_may_block, info.i_may_block) with
+                  | Some w, None ->
+                      info.i_may_block <-
+                        Some
+                          (Printf.sprintf "%s.%s -> %s"
+                             (if m = "" then info.i_mod else m)
+                             n w);
+                      changed := true
+                  | _ -> ());
+                  ignore locks
+                end)
+          info.i_calls)
+      glob.infos
+  done
+
+let seed_fixpoint glob =
+  List.iter
+    (fun info ->
+      if info.i_dls then info.i_trans_dls <- true;
+      List.iter
+        (fun (l, _) ->
+          if not (List.mem l info.i_trans_acq) then
+            info.i_trans_acq <- l :: info.i_trans_acq)
+        info.i_acquires;
+      match info.i_blocking with
+      | (b, _, _) :: _ -> info.i_may_block <- Some b
+      | [] -> ())
+    glob.infos
+
+let task_reachable glob =
+  let visited : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let reached = ref [] in
+  let queue = Queue.create () in
+  List.iter (fun r -> Queue.add r queue) glob.roots;
+  while not (Queue.is_empty queue) do
+    let info = Queue.pop queue in
+    reached := info :: !reached;
+    List.iter
+      (fun (m, n, _, _) ->
+        let key = ((if m = "" then info.i_mod else m), n) in
+        if not (Hashtbl.mem visited key) then begin
+          Hashtbl.replace visited key ();
+          match Hashtbl.find_opt glob.defs key with
+          | Some i -> Queue.add i queue
+          | None -> ()
+        end)
+      info.i_calls
+  done;
+  !reached
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: diagnostics                                                  *)
+
+let known_mutex glob name =
+  Hashtbl.fold
+    (fun (m, n) kind acc ->
+      acc
+      || kind = "mutex"
+         && (n = name || m ^ "." ^ n = name))
+    glob.toplevel false
+
+let lock_matches name l =
+  l = name
+  ||
+  let suffix = "." ^ name in
+  let ll = String.length l and ls = String.length suffix in
+  ll >= ls && String.sub l (ll - ls) ls = suffix
+
+let describe_target w =
+  match w.w_id with
+  | Some id -> Printf.sprintf "%s (%s)" w.w_prim id
+  | None -> w.w_prim
+
+let mechanism_list =
+  "\"replay-log\"|\"mutex[:NAME]\"|\"atomic\"|\"domain-local\""
+
+(* C1: every shared mutation reachable from a pool task must be
+   provably protected; [@cts.guarded] claims are verified, never
+   trusted. Claim verification runs over ALL summaries — a claim is a
+   concurrency-safety statement whether or not today's call graph
+   reaches it from a task; only the unclaimed-unguarded-write
+   diagnostic is gated on task reachability. *)
+let report_c1 glob reached =
+  List.iter
+    (fun info ->
+      let task_reached = List.memq info reached in
+      List.iter
+        (fun w ->
+          let claim_desc cl =
+            match cl.cl_lock with
+            | Some n -> Printf.sprintf "\"mutex:%s\"" n
+            | None -> Printf.sprintf "%S" cl.cl_mech
+          in
+          let emit msg = diag_at glob info.i_file w.w_loc "C1" msg in
+          if w.w_atomic then ()
+          else if w.w_locks <> [] then begin
+            match w.w_claim with
+            | Some ({ cl_mech = "mutex"; cl_lock = Some name; _ } as cl) ->
+                if
+                  known_mutex glob name
+                  && not (List.exists (lock_matches name) w.w_locks)
+                then
+                  emit
+                    (Printf.sprintf
+                       "[@cts.guarded %s] not verified: %s executes under \
+                        {%s}, not under mutex %s"
+                       (claim_desc cl) (describe_target w)
+                       (String.concat ", " w.w_locks)
+                       name)
+            | _ -> ()
+          end
+          else begin
+            match w.w_claim with
+            | _ when w.w_class = W_dls -> ()
+            | Some { cl_mech = "domain-local"; _ } when info.i_trans_dls -> ()
+            | Some { cl_mech = "replay-log"; _ } when w.w_class = W_param -> ()
+            | Some ({ cl_mech = "domain-local"; _ } as cl) ->
+                emit
+                  (Printf.sprintf
+                     "[@cts.guarded %s] not verified: %s but no Domain.DLS \
+                      access on the path"
+                     (claim_desc cl) (describe_target w))
+            | Some ({ cl_mech = "replay-log"; _ } as cl) ->
+                emit
+                  (Printf.sprintf
+                     "[@cts.guarded %s] not verified: %s writes module-level \
+                      state, not a caller-provided log"
+                     (claim_desc cl) (describe_target w))
+            | Some ({ cl_mech = "atomic"; _ } as cl) ->
+                emit
+                  (Printf.sprintf
+                     "[@cts.guarded %s] not verified: %s is not an Atomic.* \
+                      operation"
+                     (claim_desc cl) (describe_target w))
+            | Some ({ cl_mech = "mutex"; _ } as cl) ->
+                emit
+                  (Printf.sprintf
+                     "[@cts.guarded %s] not verified: %s executes with no \
+                      mutex held on the actual path"
+                     (claim_desc cl) (describe_target w))
+            | Some _ | None ->
+                if task_reached then
+                  emit
+                    (Printf.sprintf
+                       "%s writes shared state reachable from a Parallel \
+                        pool task with no lock held, no atomic primitive \
+                        and no verifiable [@cts.guarded %s] mechanism on \
+                        the path"
+                       (describe_target w) mechanism_list)
+          end)
+        info.i_writes)
+    glob.infos
+
+(* Claim-level checks: a "mutex:NAME" payload must name a module-level
+   mutex that exists; a claim whose scope performs no mutation is
+   stale. Emitted over the sorted claim list for determinism. *)
+let report_claims glob =
+  let claims =
+    List.sort_uniq
+      (fun a b ->
+        compare
+          (a.cl_file, a.cl_line, a.cl_col, a.cl_mech, a.cl_lock)
+          (b.cl_file, b.cl_line, b.cl_col, b.cl_mech, b.cl_lock))
+      glob.claims
+  in
+  List.iter
+    (fun cl ->
+      let d rule msg =
+        glob.diags <-
+          {
+            Lint.rule;
+            file = cl.cl_file;
+            line = cl.cl_line;
+            col = cl.cl_col;
+            message = msg;
+          }
+          :: glob.diags
+      in
+      match cl.cl_lock with
+      | Some name when not (known_mutex glob name) ->
+          d "C1"
+            (Printf.sprintf
+               "[@cts.guarded \"mutex:%s\"] names no module-level mutex \
+                (no `let %s = Mutex.create ()` found)"
+               name name)
+      | _ ->
+          if not cl.cl_used then
+            d "C1"
+              (Printf.sprintf
+                 "stale [@cts.guarded %S%s]: the annotated code performs no \
+                  shared mutation; remove the annotation"
+                 cl.cl_mech
+                 (match cl.cl_lock with
+                 | Some n -> Printf.sprintf " (mutex %s)" n
+                 | None -> "")))
+    claims
+
+(* C2: the same shared state written under disjoint non-empty lock
+   sets at two sites. *)
+let report_c2 glob =
+  let sites : (string, (string * Location.t * string list) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun info ->
+      List.iter
+        (fun w ->
+          if w.w_locks <> [] && not w.w_atomic then
+            match w.w_id with
+            | Some id ->
+                let prev =
+                  match Hashtbl.find_opt sites id with
+                  | Some l -> l
+                  | None -> []
+                in
+                Hashtbl.replace sites id
+                  ((info.i_file, w.w_loc, w.w_locks) :: prev)
+            | None -> ())
+        info.i_writes)
+    glob.infos;
+  let ids = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) sites []) in
+  List.iter
+    (fun id ->
+      let entries =
+        List.sort_uniq compare
+          (List.map
+             (fun (f, loc, lks) ->
+               let p = loc.Location.loc_start in
+               (f, p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol, lks))
+             (Hashtbl.find sites id))
+      in
+      match entries with
+      | [] | [ _ ] -> ()
+      | (f0, l0, c0, locks0) :: rest ->
+          List.iter
+            (fun (f, l, c, locks) ->
+              if not (List.exists (fun x -> List.mem x locks0) locks) then
+                glob.diags <-
+                  {
+                    Lint.rule = "C2";
+                    file = f;
+                    line = l;
+                    col = c;
+                    message =
+                      Printf.sprintf
+                        "inconsistent lock set: %s is guarded by {%s} here \
+                         but by {%s} at %s:%d:%d"
+                        id
+                        (String.concat ", " locks)
+                        (String.concat ", " locks0)
+                        f0 l0 c0;
+                  }
+                  :: glob.diags)
+            rest)
+    ids
+
+(* C3: lock-order inversion (and non-reentrant re-acquisition). Pair
+   sources: local pairs, plus (held, transitively-acquired-by-callee)
+   at every call site made under a lock. *)
+let report_c3 glob =
+  let pairs : (string * string, string * Location.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let add outer inner who loc =
+    let key = (outer, inner) in
+    let better (f, l) (f', l') =
+      let pos (loc : Location.t) =
+        let p = loc.Location.loc_start in
+        (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+      in
+      compare (f, pos l) (f', pos l') < 0
+    in
+    match Hashtbl.find_opt pairs key with
+    | Some (f, l) when better (f, l) (who, loc) -> ()
+    | _ -> Hashtbl.replace pairs key (who, loc)
+  in
+  List.iter
+    (fun info ->
+      List.iter (fun (o, i, loc) -> add o i info.i_file loc) info.i_pairs;
+      List.iter
+        (fun (m, n, locks, loc) ->
+          if locks <> [] then
+            let key = ((if m = "" then info.i_mod else m), n) in
+            match Hashtbl.find_opt glob.defs key with
+            | None -> ()
+            | Some callee ->
+                List.iter
+                  (fun h ->
+                    List.iter
+                      (fun l -> add h l info.i_file loc)
+                      callee.i_trans_acq)
+                  locks)
+        info.i_calls)
+    glob.infos;
+  let entries =
+    List.sort compare
+      (Hashtbl.fold
+         (fun (o, i) (f, loc) acc ->
+           let p = loc.Location.loc_start in
+           ( (o, i),
+             (f, p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol) )
+           :: acc)
+         pairs [])
+  in
+  List.iter
+    (fun ((o, i), (f, line, col)) ->
+      let d msg =
+        glob.diags <-
+          { Lint.rule = "C3"; file = f; line; col; message = msg }
+          :: glob.diags
+      in
+      if o = i then
+        d
+          (Printf.sprintf
+             "lock %s acquired while already held (OCaml mutexes are not \
+              reentrant: self-deadlock)"
+             o)
+      else if o < i then
+        match List.assoc_opt (i, o) entries with
+        | Some (f', l', c') ->
+            d
+              (Printf.sprintf
+                 "lock-order inversion: %s is acquired under %s here, but \
+                  %s under %s at %s:%d:%d"
+                 i o o i f' l' c')
+        | None -> ())
+    entries
+
+(* C4: blocking call while holding a lock — directly, or via a callee
+   that may block. *)
+let report_c4 glob =
+  List.iter
+    (fun info ->
+      List.iter
+        (fun (prim, locks, loc) ->
+          if locks <> [] then
+            diag_at glob info.i_file loc "C4"
+              (Printf.sprintf
+                 "blocking call %s while holding {%s}; move the I/O outside \
+                  the critical section or annotate [@cts.blocking_ok]"
+                 prim
+                 (String.concat ", " locks)))
+        info.i_blocking;
+      List.iter
+        (fun (m, n, locks, loc) ->
+          if locks <> [] then
+            let key = ((if m = "" then info.i_mod else m), n) in
+            match Hashtbl.find_opt glob.defs key with
+            | Some callee -> (
+                match callee.i_may_block with
+                | Some witness ->
+                    diag_at glob info.i_file loc "C4"
+                      (Printf.sprintf
+                         "call to %s.%s may block (%s) while holding {%s}; \
+                          move the I/O outside the critical section or \
+                          annotate [@cts.blocking_ok]"
+                         (if m = "" then info.i_mod else m)
+                         n witness
+                         (String.concat ", " locks))
+                | None -> ())
+            | None -> ())
+        info.i_calls)
+    glob.infos
+
+(* C5: a Domain.DLS-derived value stored into shared mutable state. *)
+let report_c5 glob =
+  List.iter
+    (fun info ->
+      List.iter
+        (fun w ->
+          match w.w_class with
+          | W_shared id when w.w_value_dls ->
+              diag_at glob info.i_file w.w_loc "C5"
+                (Printf.sprintf
+                   "Domain.DLS-derived value stored into shared state %s: \
+                    domain-local data must not escape its domain"
+                   id)
+          | _ -> ())
+        info.i_writes)
+    glob.infos
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+
+let parse_structure path contents =
+  let lexbuf = Lexing.from_string contents in
+  Lexing.set_filename lexbuf path;
+  Parse.implementation lexbuf
+
+let check_sources sources =
+  let sources = List.map (fun (p, c) -> (Lint.normalize_path p, c)) sources in
+  let mls =
+    List.sort compare
+      (List.filter (fun (p, _) -> Filename.check_suffix p ".ml") sources)
+  in
+  let glob =
+    {
+      defs = Hashtbl.create 256;
+      infos = [];
+      roots = [];
+      toplevel = Hashtbl.create 128;
+      claims = [];
+      diags = [];
+    }
+  in
+  let parsed =
+    List.filter_map
+      (fun (path, contents) ->
+        let fc =
+          {
+            f_path = path;
+            f_mod = module_name_of path;
+            f_aliases = Hashtbl.create 8;
+          }
+        in
+        match parse_structure path contents with
+        | str -> Some (fc, str)
+        | exception exn ->
+            let line, col, msg =
+              match Location.error_of_exn exn with
+              | Some (`Ok (err : Location.error)) ->
+                  let loc = err.Location.main.Location.loc in
+                  let p = loc.Location.loc_start in
+                  ( p.Lexing.pos_lnum,
+                    p.Lexing.pos_cnum - p.Lexing.pos_bol,
+                    Format.asprintf "%t" err.Location.main.Location.txt )
+              | _ -> (1, 0, Printexc.to_string exn)
+            in
+            glob.diags <-
+              { Lint.rule = "syntax"; file = path; line; col; message = msg }
+              :: glob.diags;
+            None)
+      mls
+  in
+  (* Pre-pass before any walk: claim verification and lock resolution
+     consult the module-level tables across files. *)
+  List.iter (fun (fc, str) -> classify_toplevel glob fc str) parsed;
+  List.iter (fun (fc, str) -> do_structure glob fc str) parsed;
+  glob.infos <- List.rev glob.infos;
+  glob.roots <- List.rev glob.roots;
+  seed_fixpoint glob;
+  fixpoint glob;
+  let reached = task_reachable glob in
+  report_c1 glob reached;
+  report_claims glob;
+  report_c2 glob;
+  report_c3 glob;
+  report_c4 glob;
+  report_c5 glob;
+  Lint.sort_diagnostics glob.diags
+
+let check_paths paths =
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  check_sources (List.map (fun p -> (p, read_file p)) paths)

@@ -196,7 +196,7 @@ let () =
   at_exit (fun () ->
       match !default_ref with Some p -> shutdown p | None -> ())
 
-let[@cts.guarded "mutex"] default_pool () =
+let[@cts.guarded "mutex:default_mutex"] default_pool () =
   Mutex.lock default_mutex;
   let pool =
     match !default_ref with

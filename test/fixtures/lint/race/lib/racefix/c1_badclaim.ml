@@ -1,0 +1,8 @@
+(* Seeded C1 fixture: [@cts.guarded "atomic"] claimed, but the write
+   is a plain ref assignment — the claim must not be trusted. *)
+
+let total = ref 0
+
+let[@cts.guarded "atomic"] add n = total := !total + n
+
+let run pool items = Parallel.map pool (fun item -> add item) items

@@ -1,0 +1,10 @@
+(* Seeded C1 fixture: the claim names a mutex that does not exist at
+   module level ("ghost_mutex"); the real lock is "guard". *)
+
+let guard = Mutex.create ()
+let count = ref 0
+
+let[@cts.guarded "mutex:ghost_mutex"] tick () =
+  Mutex.lock guard;
+  count := !count + 1;
+  Mutex.unlock guard

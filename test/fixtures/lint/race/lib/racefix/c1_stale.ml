@@ -1,0 +1,6 @@
+(* Seeded C1 fixture: a guard claim on a read-only definition is
+   stale and must be flagged for removal. *)
+
+let total = ref 0
+
+let[@cts.guarded "mutex"] read_total () = !total

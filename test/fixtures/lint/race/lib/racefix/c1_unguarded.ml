@@ -1,0 +1,8 @@
+(* Seeded C1 fixture: module-level state mutated from a pool task with
+   no guard at all on the path. *)
+
+let hits = ref 0
+
+let bump () = hits := !hits + 1
+
+let run pool items = Parallel.iter pool (fun _item -> bump ()) items

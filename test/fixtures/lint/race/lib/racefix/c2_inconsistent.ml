@@ -1,0 +1,16 @@
+(* Seeded C2 fixture: the same shared ref is guarded by lock_a at one
+   site and by lock_b at another — disjoint lock sets. *)
+
+let state = ref 0
+let lock_a = Mutex.create ()
+let lock_b = Mutex.create ()
+
+let via_a () =
+  Mutex.lock lock_a;
+  state := 1;
+  Mutex.unlock lock_a
+
+let via_b () =
+  Mutex.lock lock_b;
+  state := 2;
+  Mutex.unlock lock_b

@@ -1,0 +1,27 @@
+(* Seeded C3 fixture: lock-order inversion (A then B in one function,
+   B then A in another) plus a non-reentrant re-acquisition. *)
+
+let lock_a = Mutex.create ()
+let lock_b = Mutex.create ()
+let x = ref 0
+
+let ab () =
+  Mutex.lock lock_a;
+  Mutex.lock lock_b;
+  x := 1;
+  Mutex.unlock lock_b;
+  Mutex.unlock lock_a
+
+let ba () =
+  Mutex.lock lock_b;
+  Mutex.lock lock_a;
+  x := 2;
+  Mutex.unlock lock_a;
+  Mutex.unlock lock_b
+
+let again () =
+  Mutex.lock lock_a;
+  Mutex.lock lock_a;
+  x := 3;
+  Mutex.unlock lock_a;
+  Mutex.unlock lock_a

@@ -1,0 +1,17 @@
+(* Seeded C4 fixture: channel I/O inside a critical section; the
+   second function shows the reviewed [@cts.blocking_ok] escape. *)
+
+let log_lock = Mutex.create ()
+let count = ref 0
+
+let noisy () =
+  Mutex.lock log_lock;
+  count := !count + 1;
+  Printf.printf "count = %d\n" !count;
+  Mutex.unlock log_lock
+
+let quiet () =
+  Mutex.lock log_lock;
+  count := !count + 1;
+  (Printf.printf "ok\n" [@cts.blocking_ok]);
+  Mutex.unlock log_lock

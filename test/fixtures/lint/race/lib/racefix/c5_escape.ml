@@ -1,0 +1,9 @@
+(* Seeded C5 fixture: a Domain.DLS-derived value stored into shared
+   module-level state escapes its domain. *)
+
+let slot : int list ref = ref []
+let key = Domain.DLS.new_key (fun () -> [])
+
+let leak () =
+  let mine = Domain.DLS.get key in
+  slot := mine

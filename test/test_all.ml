@@ -30,4 +30,5 @@ let () =
       ("bench_cli", T_bench_cli.suite);
       ("lint", T_lint.suite);
       ("units", T_units.suite);
+      ("race", T_race.suite);
     ]
