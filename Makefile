@@ -21,6 +21,16 @@ bench-full:
 bench-par:
 	dune exec bench/main.exe -- --profile fast --parallel-bench
 
+# CI smoke: the quick parallel benchmark plus an explicit check that the
+# 1-domain and 4-domain runs produced identical results (the benchmark
+# itself exits non-zero on a violation; the grep keeps the contract
+# visible even if someone relaxes that). CI uploads BENCH_parallel.json.
+bench-smoke: bench-par
+	@if ! grep -q '"identical": true' BENCH_parallel.json \
+	  || grep -q '"identical": false' BENCH_parallel.json; then \
+	  echo "bench-smoke: parallel run not identical to sequential"; exit 1; fi
+	@echo "bench-smoke: BENCH_parallel.json OK (identical=true)"
+
 # QoR regression gate: synthesize the canonical fast-profile benchmark
 # (writes BENCH_qor.json) and compare it against the committed baseline
 # snapshot. Exit 6 = a gated metric regressed beyond its threshold.
@@ -106,6 +116,6 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all test test-par bench bench-full bench-par qor-gate qor-baseline \
-        qor-gate-dp qor-baseline-dp lint lint-units lint-race \
-        lint-fixtures trace-smoke examples clean
+.PHONY: all test test-par bench bench-full bench-par bench-smoke \
+        qor-gate qor-baseline qor-gate-dp qor-baseline-dp lint lint-units \
+        lint-race lint-fixtures trace-smoke examples clean

@@ -7,6 +7,7 @@ module W = Waveform
 module T = Spice_sim.Transient
 module Rc = Circuit.Rc_tree
 module Buffer_lib = Circuit.Buffer_lib
+module Polyfit = Numerics.Polyfit
 
 let mk_specs n die seed =
   let rng = Util.Rng.create seed in
@@ -106,9 +107,44 @@ let tests (env : Experiments.env) =
     Test.make ~name:"abl-balance: bidirectional maze select"
       (Staged.stage (fun () -> ignore (Maze.select dl cfg p1 p2)))
   in
+  (* Hot-path kernels: the three lookups the allocation work targeted.
+     Each stages the steady-state (hit) path; pair the time estimate
+     with the minor-allocation column — all three should report ~0
+     words/run. *)
+  let t_hot_span =
+    Test.make ~name:"hot-span: Run.span arena hit"
+      (Staged.stage (fun () ->
+           ignore (Run.span dl cfg ~drive:b20 ~load_cap:5e-15)))
+  in
+  let maze_memo = Maze.eval_memo dl cfg p1 ~max_d:3000. in
+  let t_hot_maze =
+    Test.make ~name:"hot-maze: Maze.eval_memo hit"
+      (Staged.stage (fun () -> ignore (maze_memo 1234.5)))
+  in
+  let s3 =
+    (* Any smooth trivariate sample works; the kernel cost depends only
+       on the fitted degree. *)
+    let pts = ref [] and vs = ref [] in
+    for i = 0 to 5 do
+      for j = 0 to 5 do
+        for k = 0 to 5 do
+          let x = float_of_int i /. 5.
+          and y = float_of_int j /. 5.
+          and z = float_of_int k /. 5. in
+          pts := (x, y, z) :: !pts;
+          vs := (x *. y) +. (0.5 *. z *. z) -. (0.25 *. x *. z) :: !vs
+        done
+      done
+    done;
+    Polyfit.fit3 ~degree:3 (Array.of_list !pts) (Array.of_list !vs)
+  in
+  let t_hot_eval3 =
+    Test.make ~name:"hot-eval3: Polyfit.eval3 (degree 3)"
+      (Staged.stage (fun () -> ignore (Polyfit.eval3 s3 0.3 0.6 0.9)))
+  in
   [
     t_fig11; t_fig32; t_fig34; t_fig36; t_model; t_tab51; t_tab52; t_tab53;
-    t_abl_run; t_abl_maze;
+    t_abl_run; t_abl_maze; t_hot_span; t_hot_maze; t_hot_eval3;
   ]
 
 let run env =
@@ -116,24 +152,41 @@ let run env =
   let cfg_b =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
   in
-  let instances = Instance.[ monotonic_clock ] in
+  (* Minor-heap words per run measured alongside time: the hot-path
+     kernels exist precisely to keep this column at zero. *)
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let estimate tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> (
+        match Analyze.OLS.estimates r with Some [ e ] -> Some e | _ -> None)
+    | None -> None
   in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg_b instances test in
-      let analyzed = Analyze.all ols (Instance.monotonic_clock) results in
+      let time = Analyze.all ols Instance.monotonic_clock results in
+      let alloc = Analyze.all ols Instance.minor_allocated results in
       Hashtbl.iter
-        (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] ->
-              let v, unit =
-                if est >= 1e6 then (est /. 1e6, "ms")
-                else if est >= 1e3 then (est /. 1e3, "us")
-                else (est, "ns")
-              in
-              Printf.printf "  %-50s %10.2f %s/run\n" name v unit
-          | Some _ | None -> Printf.printf "  %-50s (no estimate)\n" name)
-        analyzed)
+        (fun name _ ->
+          let time_str =
+            match estimate time name with
+            | Some est ->
+                let v, unit =
+                  if est >= 1e6 then (est /. 1e6, "ms")
+                  else if est >= 1e3 then (est /. 1e3, "us")
+                  else (est, "ns")
+                in
+                Printf.sprintf "%10.2f %s/run" v unit
+            | None -> "    (no estimate)"
+          in
+          let alloc_str =
+            match estimate alloc name with
+            | Some w -> Printf.sprintf "%10.1f w/run" w
+            | None -> "   (no alloc est)"
+          in
+          Printf.printf "  %-50s %s %s\n" name time_str alloc_str)
+        time)
     (tests env)

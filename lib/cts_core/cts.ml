@@ -333,24 +333,39 @@ let synthesize ?config ?(blockages = Blockage.empty) ?pool ?(check = false) dl
        delay library, span cache) but defer all writes to their logs;
        the replay below happens in pair order, making the result — tree
        structure, netlist and counters — bit-identical to a sequential
-       run. *)
-    let merged =
-      Parallel.map pool
-        (fun (i, j) ->
+       run.
+
+       The fan-out is chunked: one pool task per contiguous slice of
+       the pair array, not per pair. A single merge is far smaller than
+       a task's fixed cost (closure + result allocation, queue traffic,
+       per-task Obs accumulator swap), so wide levels used to drown in
+       per-task overhead; ~4 chunks per domain keeps load balance
+       without that. Determinism is untouched: chunks partition the
+       pair array in order and each task walks its slice sequentially
+       with a per-pair scratch, so both the log replay below and the
+       pool's task-index-order Obs delta absorption still see exact
+       pair order. *)
+    let pairs = Array.of_list pairing.Topology.pairs in
+    let npairs = Array.length pairs in
+    let nchunks = Int.min npairs (Int.max 1 (4 * Parallel.size pool)) in
+    let merge_chunk c =
+      let lo = c * npairs / nchunks and hi = (c + 1) * npairs / nchunks in
+      Array.init (hi - lo) (fun k ->
+          let i, j = pairs.(lo + k) in
           let sc = { st; log = [] } in
           let a, b = hstructure sc items.(i) items.(j) in
           let port = do_merge sc ~commit:true a b in
           (port, entries_of sc))
-        (Array.of_list pairing.Topology.pairs)
     in
+    let merged = Parallel.map pool merge_chunk (Array.init nchunks Fun.id) in
     let next = ref [] in
     (match pairing.Topology.seed with
     | Some i -> next := items.(i) :: !next
     | None -> ());
     Array.iter
-      (fun (port, log) ->
-        apply_entries st log;
-        next := port :: !next)
+      (Array.iter (fun (port, log) ->
+           apply_entries st log;
+           next := port :: !next))
       merged;
     Obs.hist_add Obs.Buffers_per_level ~bucket:!levels (st.inserted - inserted0);
     Obs.hist_add Obs.Merges_per_level ~bucket:!levels

@@ -31,6 +31,26 @@ let bins_for (cfg : Cts_config.t) span =
    apart split, and the quantization was asymmetric around 0. *)
 let cache_key d = int_of_float (Float.round (d *. 10.))
 
+(* Memoized run evaluation for one side: evals depend only on the path
+   length, which is heavily shared between bins; quantize to 0.1 um
+   (see [cache_key]). The memo is a flat array indexed by the quantized
+   key — the farthest probe distance is known up front, so the table is
+   preallocated once per side and a hit is one array read: no boxed-int
+   keys, no hashing. *)
+let eval_memo dl cfg port ~max_d =
+  let table = Array.make (Int.max 0 (cache_key max_d) + 2) None in
+  fun d ->
+    let key = cache_key d in
+    match table.(key) with
+    | Some e ->
+        Obs.incr Obs.Eval_cache_hits;
+        e
+    | None ->
+        Obs.incr Obs.Eval_cache_misses;
+        let e = Run.eval dl cfg port d in
+        table.(key) <- Some e;
+        e
+
 let select dl (cfg : Cts_config.t) (p1 : Port.t) (p2 : Port.t) =
   Obs.incr Obs.Maze_selects;
   let pos1 = Port.pos p1 and pos2 = Port.pos p2 in
@@ -54,23 +74,15 @@ let select dl (cfg : Cts_config.t) (p1 : Port.t) (p2 : Port.t) =
       y = ymin +. ((float_of_int j +. 0.5) /. fr *. (ymax -. ymin));
     }
   in
-  (* Memoize run evaluations per side: they depend only on the path
-     length, which is heavily shared between bins. Quantize to 0.1 um. *)
-  let eval_side port =
-    let cache = Hashtbl.create 256 in
-    fun d ->
-      let key = cache_key d in
-      match Hashtbl.find_opt cache key with
-      | Some e ->
-          Obs.incr Obs.Eval_cache_hits;
-          e
-      | None ->
-          Obs.incr Obs.Eval_cache_misses;
-          let e = Run.eval dl cfg port d in
-          Hashtbl.replace cache key e;
-          e
+  (* Every probed distance is a manhattan distance from the port to a
+     point of the expanded box, so the corner-decomposed maximum bounds
+     the memo's key range. *)
+  let max_d_from (pos : Point.t) =
+    Float.max (pos.Point.x -. xmin) (xmax -. pos.Point.x)
+    +. Float.max (pos.Point.y -. ymin) (ymax -. pos.Point.y)
   in
-  let eval1 = eval_side p1 and eval2 = eval_side p2 in
+  let eval1 = eval_memo dl cfg p1 ~max_d:(max_d_from pos1)
+  and eval2 = eval_memo dl cfg p2 ~max_d:(max_d_from pos2) in
   let best = ref None in
   let consider (c : choice) =
     let better =

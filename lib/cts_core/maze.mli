@@ -34,6 +34,18 @@ val cache_key : (float[@cts.unit "um"]) -> int
     0.04 um apart while splitting lengths 0.01 um apart). Exposed for
     the rounding regression test. *)
 
+val eval_memo :
+  Delaylib.t -> Cts_config.t -> Port.t -> max_d:(float[@cts.unit "um"]) ->
+  (float[@cts.unit "um"]) -> Run.eval
+(** [eval_memo dl cfg port ~max_d] — a memoizing evaluator for one
+    expansion side: distances quantized through {!cache_key} into a
+    flat table preallocated for keys up to [max_d] (a hit is a single
+    array read). Counts [Obs.Eval_cache_hits]/[Eval_cache_misses].
+    Probing a distance beyond [max_d] raises [Invalid_argument].
+    Closure-captured scratch: private to one evaluation, never shared
+    across domains. Exposed for the micro-benchmarks and the
+    memo-vs-direct oracle test. *)
+
 val side_delay :
   Delaylib.t -> Cts_config.t -> Run.eval -> (float[@cts.unit "um"]) ->
   (float[@cts.unit "ps"])

@@ -12,43 +12,218 @@ type eval = {
 }
 
 (* Spans depend only on (buffer, load class, slew target); memoize.
-   The table is shared by every domain of the synthesis pool, so all
-   access goes through [span_mutex] — including the miss computation.
-   Computing under the lock serializes first-time characterization of a
-   key, but guarantees each key is computed exactly once process-wide:
-   racing domains used to duplicate the (identical) computation, which
-   was value-safe but made the Obs delay-library evaluation counts
-   schedule-dependent. One compute per key keeps parallel counter
-   totals identical to sequential ones. *)
-let span_cache : (string * float * float, float) Hashtbl.t = Hashtbl.create 64
-let span_mutex = Mutex.create ()
+   The memo is an arena, not a hashed-tuple table: one arena per delay
+   library (physical identity), whose cells live in one flat array
+   indexed by (slew-target row, driver-name slot, load-class index) —
+   a span lookup is two short array scans and one array index, with no
+   tuple key allocation and no hashing.
 
-let[@cts.guarded "mutex:span_mutex"] span dl (cfg : Cts_config.t) ~drive ~load_cap =
-  let class_cap = Delaylib.load_class_cap dl load_cap in
-  let key = (drive.Buffer_lib.name, class_cap, cfg.slew_target) in
+   Concurrency: each cell carries an atomic state (empty / computing /
+   ready). The ready fast path is lock-free; the miss computation runs
+   OUTSIDE the global critical section — [span_mutex] only brackets the
+   empty->computing and computing->ready transitions (and layout
+   growth), so first-time characterization of distinct keys proceeds in
+   parallel. The state machine still guarantees each key is computed
+   exactly once process-wide: racing domains used to duplicate the
+   (identical) computation, which was value-safe but made the Obs
+   delay-library evaluation counts schedule-dependent. Exactly one
+   caller takes the empty->computing transition (and counts the one
+   miss); everyone else waits on [span_cond] and counts a hit — the
+   same totals a sequential run reports. *)
+type span_cell = {
+  sc_state : int Atomic.t;  (* 0 empty, 1 computing, 2 ready *)
+  mutable sc_value : float; (* meaningful once [sc_state] = 2 *)
+}
+
+(* Layouts are immutable snapshots swapped atomically: a reader always
+   sees consistent (slews, names, cells) packing. Growth (a new slew
+   target or a foreign driver, both rare) copies the arrays but shares
+   the cell records, so values filled through any layout are visible
+   through every layout. *)
+type span_layout = {
+  sl_slews : float array;     (* slew-target rows, append-only *)
+  sl_names : string array;    (* driver-name slots, append-only *)
+  sl_cells : span_cell array; (* ((slew * names) + name) * classes + class *)
+}
+
+type span_arena = {
+  sa_dl : Delaylib.t;  (* identity key; never dereferenced for equality *)
+  sa_classes : int;
+  sa_layout : span_layout Atomic.t;
+}
+
+let span_mutex = Mutex.create ()
+let span_cond = Condition.create ()
+let span_arenas : span_arena list Atomic.t = Atomic.make []
+
+let rec find_arena dl = function
+  | [] -> raise Not_found
+  | (a : span_arena) :: tl -> if a.sa_dl == dl then a else find_arena dl tl
+
+(* The scans are top-level recursive functions, not local [let rec]s:
+   a local recursive closure capturing the array costs ~6 minor words
+   per call, which is most of what the arena saved on the hit path. *)
+let rec scan_name names n i name =
+  if i >= n then -1
+  else if String.equal (Array.unsafe_get names i) name then i
+  else scan_name names n (i + 1) name
+
+let idx_of_name names name = scan_name names (Array.length names) 0 name
+
+let rec scan_slew slews n i (s : float) =
+  if i >= n then -1
+  else if (Array.unsafe_get slews i = s) [@cts.float_eq_ok] then i
+  else scan_slew slews n (i + 1) s
+
+(* Exact bit equality is the memo-key identity, as it was for the
+   hashed tuple key before: epsilon-close but distinct slew targets are
+   distinct keys. *)
+let idx_of_slew slews s = scan_slew slews (Array.length slews) 0 s
+
+let[@cts.guarded "mutex:span_mutex"] arena_for dl =
+  match find_arena dl (Atomic.get span_arenas) with
+  | a -> a
+  | exception Not_found ->
+      Mutex.lock span_mutex;
+      let a =
+        match find_arena dl (Atomic.get span_arenas) with
+        | a -> a
+        | exception Not_found ->
+            let names =
+              Array.of_list
+                (List.map
+                   (fun (b : Buffer_lib.t) -> b.Buffer_lib.name)
+                   (Delaylib.buffers dl))
+            in
+            let a =
+              {
+                sa_dl = dl;
+                sa_classes = Delaylib.n_classes dl;
+                sa_layout =
+                  Atomic.make
+                    { sl_slews = [||]; sl_names = names; sl_cells = [||] };
+              }
+            in
+            Atomic.set span_arenas (a :: Atomic.get span_arenas);
+            a
+      in
+      Mutex.unlock span_mutex;
+      a
+
+(* Called under [span_mutex]. Extends the layout so (slew, name) exists;
+   existing cells keep their (slew, name, class) coordinates because
+   both axes grow append-only. *)
+let[@cts.guarded "mutex:span_mutex"] grow_layout arena ~slew ~name =
+  let lay = Atomic.get arena.sa_layout in
+  let slews =
+    if idx_of_slew lay.sl_slews slew < 0 then
+      Array.append lay.sl_slews [| slew |]
+    else lay.sl_slews
+  in
+  let names =
+    if idx_of_name lay.sl_names name < 0 then
+      Array.append lay.sl_names [| name |]
+    else lay.sl_names
+  in
+  if slews != lay.sl_slews || names != lay.sl_names then begin
+    let nn = Array.length names in
+    let old_nn = Array.length lay.sl_names in
+    let old_ns = Array.length lay.sl_slews in
+    let cells =
+      Array.init
+        (Array.length slews * nn * arena.sa_classes)
+        (fun idx ->
+          let c = idx mod arena.sa_classes in
+          let rest = idx / arena.sa_classes in
+          let ni = rest mod nn and si = rest / nn in
+          if si < old_ns && ni < old_nn then
+            lay.sl_cells.((((si * old_nn) + ni) * arena.sa_classes) + c)
+          else { sc_state = Atomic.make 0; sc_value = 0. })
+    in
+    Atomic.set arena.sa_layout { sl_slews = slews; sl_names = names; sl_cells = cells }
+  end
+
+let cell_index lay ~classes ~si ~ni ~cls =
+  (((si * Array.length lay.sl_names) + ni) * classes) + cls
+
+(* Settle one cell: wait out a concurrent computation, or claim the
+   empty->computing transition and fill the cell with the lock
+   released. *)
+let[@cts.guarded "mutex:span_mutex"] span_fill dl (cfg : Cts_config.t) ~drive
+    ~load_cap cell =
   Mutex.lock span_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock span_mutex)
-    (fun () ->
-      match Hashtbl.find_opt span_cache key with
-      | Some s ->
-          Obs.incr Obs.Span_cache_hits;
-          s
-      | None ->
-          Obs.incr Obs.Span_cache_misses;
-          let s =
+  let rec settle () =
+    match Atomic.get cell.sc_state with
+    | 2 ->
+        Mutex.unlock span_mutex;
+        Obs.incr Obs.Span_cache_hits;
+        cell.sc_value
+    | 1 ->
+        Condition.wait span_cond span_mutex;
+        settle ()
+    | _ ->
+        Atomic.set cell.sc_state 1;
+        Mutex.unlock span_mutex;
+        Obs.incr Obs.Span_cache_misses;
+        let v =
+          try
             Delaylib.max_length_for_slew dl ~drive ~load_cap
               ~input_slew:cfg.slew_target ~slew_limit:cfg.slew_target
-          in
-          Hashtbl.replace span_cache key s;
-          s)
+          with e ->
+            (* Roll back so the key stays computable (and the next
+               attempt pays a fresh miss, as the old table did). *)
+            Mutex.lock span_mutex;
+            Atomic.set cell.sc_state 0;
+            Condition.broadcast span_cond;
+            Mutex.unlock span_mutex;
+            raise e
+        in
+        Mutex.lock span_mutex;
+        cell.sc_value <- v;
+        Atomic.set cell.sc_state 2;
+        Condition.broadcast span_cond;
+        Mutex.unlock span_mutex;
+        v
+  in
+  settle ()
 
-(* The cache is process-global and outlives one synthesis; tests that
-   compare counter snapshots across runs reset it so both runs pay the
-   same misses. *)
+let span_slow dl cfg ~drive ~load_cap ~cls arena =
+  (* The layout lacks this (slew, name) coordinate: grow it under the
+     lock, then settle the cell like any other. *)
+  Mutex.lock span_mutex;
+  grow_layout arena ~slew:cfg.Cts_config.slew_target
+    ~name:drive.Buffer_lib.name;
+  let lay = Atomic.get arena.sa_layout in
+  let si = idx_of_slew lay.sl_slews cfg.Cts_config.slew_target in
+  let ni = idx_of_name lay.sl_names drive.Buffer_lib.name in
+  let cell = lay.sl_cells.(cell_index lay ~classes:arena.sa_classes ~si ~ni ~cls) in
+  Mutex.unlock span_mutex;
+  span_fill dl cfg ~drive ~load_cap cell
+
+let span dl (cfg : Cts_config.t) ~drive ~load_cap =
+  let cls = Delaylib.class_index dl load_cap in
+  let arena = arena_for dl in
+  let lay = Atomic.get arena.sa_layout in
+  let si = idx_of_slew lay.sl_slews cfg.slew_target in
+  let ni =
+    if si < 0 then -1 else idx_of_name lay.sl_names drive.Buffer_lib.name
+  in
+  if ni >= 0 then begin
+    let cell = lay.sl_cells.(cell_index lay ~classes:arena.sa_classes ~si ~ni ~cls) in
+    if Atomic.get cell.sc_state = 2 then begin
+      Obs.incr Obs.Span_cache_hits;
+      cell.sc_value
+    end
+    else span_fill dl cfg ~drive ~load_cap cell
+  end
+  else span_slow dl cfg ~drive ~load_cap ~cls arena
+
+(* The arenas are process-global and outlive one synthesis; tests that
+   compare counter snapshots across runs reset them so both runs pay
+   the same misses. *)
 let[@cts.guarded "mutex:span_mutex"] reset_span_cache () =
   Mutex.lock span_mutex;
-  Hashtbl.reset span_cache;
+  Atomic.set span_arenas [];
   Mutex.unlock span_mutex
 
 let stage_delay dl (cfg : Cts_config.t) drive ~length ~load_cap =
@@ -240,21 +415,53 @@ let eval_dp ?positions ?(place = fun ~cur:_ d -> Some d) dl
   in
   let p = Array.of_list pos_list in
   let m = Array.length p in
-  (* Stage-delay memo keyed (type, load class, 0.01 um-quantized length):
-     on a uniform grid the (i, j) pairs collapse onto O(n) distinct
-     lengths, so the table costs O(b n) delay-library lookups while the
-     O(b n^2) transition scan below is pure arithmetic on cached
-     values. Call-local scratch, never shared across domains. *)
-  let sd_memo : (int * float * int, float) Hashtbl.t = Hashtbl.create 256 in
-  let stage_cost t_idx ~len ~load_cap =
-    let cls = Delaylib.load_class_cap dl load_cap in
-    let key = (t_idx, cls, int_of_float (Float.round (len *. 100.))) in
-    match Hashtbl.find_opt sd_memo key with
-    | Some d -> d
+  (* Stage-delay memo keyed (type, load class, 0.01 um-quantized length)
+     — the same key identity the old tuple-keyed hashtables used, so the
+     distinct-computation set (and with it the Obs delay-library
+     evaluation counts) is unchanged. The representation is flat: every
+     distinct quantized length gets a dense id up front (the candidate
+     positions are known), classes are {!Delaylib.class_index} ints, and
+     the memo is one float array indexed ((len * b) + type) * ncls + cls
+     with a -1 sentinel (stage delays are clamped non-negative by
+     [eval_single]). The O(b n^2) transition scan below therefore boxes
+     no tuple keys and hashes nothing; on a uniform grid the (i, j)
+     pairs collapse onto O(n) distinct lengths, so the table costs
+     O(b n) delay-library lookups. Call-local scratch, never shared
+     across domains. *)
+  let ncls = Delaylib.n_classes dl in
+  let cls_of_type = Array.map (fun c -> Delaylib.class_index dl c) caps in
+  let cls_port = Delaylib.class_index dl port.Port.stub_load in
+  let quantize len = int_of_float (Float.round ((len *. 100.) [@cts.unit_ok])) in
+  let len_ids : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let id_of_len len =
+    let k = quantize len in
+    match Hashtbl.find_opt len_ids k with
+    | Some id -> id
     | None ->
-        let d = stage_delay dl cfg types.(t_idx) ~length:len ~load_cap in
-        Hashtbl.replace sd_memo key d;
-        d
+        let id = Hashtbl.length len_ids in
+        Hashtbl.add len_ids k id;
+        id
+  in
+  let port_len_id =
+    Array.init m (fun i -> id_of_len (p.(i) +. port.Port.stub_len))
+  in
+  let pair_len_id =
+    Array.init (m * m) (fun idx ->
+        let i = idx / m and j = idx mod m in
+        if j < i then id_of_len (p.(i) -. p.(j)) else -1)
+  in
+  let sd_tab =
+    Array.make (Int.max 1 (Hashtbl.length len_ids * b * ncls)) (-1.)
+  in
+  let stage_cost t_idx ~len_id ~len ~cls ~load_cap =
+    let slot = (((len_id * b) + t_idx) * ncls) + cls in
+    let d = Array.unsafe_get sd_tab slot in
+    if d >= 0. then d
+    else begin
+      let d = stage_delay dl cfg types.(t_idx) ~length:len ~load_cap in
+      Array.unsafe_set sd_tab slot d;
+      d
+    end
   in
   (* Spans hoisted out of the O(b n^2) scan: only b + 1 distinct loads
      occur (each type's input cap and the port stub), so the mutex-guarded
@@ -275,21 +482,35 @@ let eval_dp ?positions ?(place = fun ~cur:_ d -> Some d) dl
     cfg.top_margin
     *. span dl cfg ~drive:cfg.assumed_driver ~load_cap:port.Port.stub_load
   in
-  (* Top-wire delay memo, same quantization as [sd_memo]: the candidate
-     tops collapse onto O(n) distinct lengths and b + 1 load classes. *)
-  let top_memo : (float * int, float) Hashtbl.t = Hashtbl.create 64 in
-  let top_wire_delay ~top_stub_len ~top_load =
-    let cls = Delaylib.load_class_cap dl top_load in
-    let key = (cls, int_of_float (Float.round ((top_stub_len *. 100.) [@cts.unit_ok]))) in
-    match Hashtbl.find_opt top_memo key with
-    | Some d -> d
+  (* Top-wire delay memo, same quantization and flat layout as
+     [sd_tab]: the candidate tops collapse onto O(n) distinct lengths
+     and b + 1 load classes (wire delays are likewise clamped
+     non-negative, so -1 is free as the empty sentinel). *)
+  let top_ids : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let top_id_of len =
+    let k = quantize len in
+    match Hashtbl.find_opt top_ids k with
+    | Some id -> id
     | None ->
-        let e =
-          Delaylib.eval_single dl ~drive:cfg.assumed_driver ~load_cap:top_load
-            ~input_slew:cfg.slew_target ~length:top_stub_len
-        in
-        Hashtbl.replace top_memo key e.Delaylib.wire_delay;
-        e.Delaylib.wire_delay
+        let id = Hashtbl.length top_ids in
+        Hashtbl.add top_ids k id;
+        id
+  in
+  let base_top_id = top_id_of (length +. port.Port.stub_len) in
+  let cand_top_id = Array.init m (fun i -> top_id_of (length -. p.(i))) in
+  let top_tab = Array.make (Int.max 1 (Hashtbl.length top_ids * ncls)) (-1.) in
+  let top_wire_delay ~top_id ~cls ~top_stub_len ~top_load =
+    let slot = (top_id * ncls) + cls in
+    let d = top_tab.(slot) in
+    if d >= 0. then d
+    else begin
+      let e =
+        Delaylib.eval_single dl ~drive:cfg.assumed_driver ~load_cap:top_load
+          ~input_slew:cfg.slew_target ~length:top_stub_len
+      in
+      top_tab.(slot) <- e.Delaylib.wire_delay;
+      e.Delaylib.wire_delay
+    end
   in
   (* best.(i*b + t): cheapest way to stand a type-t buffer at position
      i; None when no slew-feasible chain reaches that state. (Flat so
@@ -314,7 +535,10 @@ let eval_dp ?positions ?(place = fun ~cur:_ d -> Some d) dl
       (* From the port itself: the stage swallows the port stub. *)
       let stage_len = p.(i) +. port.Port.stub_len in
       if stage_len <= span_port.(t) then begin
-        let d = stage_cost t ~len:stage_len ~load_cap:port.Port.stub_load in
+        let d =
+          stage_cost t ~len_id:port_len_id.(i) ~len:stage_len ~cls:cls_port
+            ~load_cap:port.Port.stub_load
+        in
         consider i t
           {
             s_cost = port.Port.delay +. d +. (cfg.dp_area_weight *. areas.(t));
@@ -329,7 +553,11 @@ let eval_dp ?positions ?(place = fun ~cur:_ d -> Some d) dl
         List.iter
           (fun (t', (st : dp_state)) ->
             if stage_len <= span_tt.(t).(t') then begin
-              let d = stage_cost t ~len:stage_len ~load_cap:caps.(t') in
+              let d =
+                stage_cost t
+                  ~len_id:pair_len_id.((i * m) + j)
+                  ~len:stage_len ~cls:cls_of_type.(t') ~load_cap:caps.(t')
+              in
               consider i t
                 {
                   s_cost = st.s_cost +. d +. (cfg.dp_area_weight *. areas.(t));
@@ -349,14 +577,12 @@ let eval_dp ?positions ?(place = fun ~cur:_ d -> Some d) dl
       match best_get i t with
       | Some st ->
           Obs.incr Obs.Dp_candidates;
-          let cls = Delaylib.load_class_cap dl caps.(t) in
+          let cls = cls_of_type.(t) in
           let replaced = ref false in
           row :=
             List.map
               (fun (t', st') ->
-                if
-                  Float.compare (Delaylib.load_class_cap dl caps.(t')) cls = 0
-                then begin
+                if cls_of_type.(t') = cls then begin
                   replaced := true;
                   if cost_better st.s_cost st.s_area st'.s_cost st'.s_area
                   then begin
@@ -379,9 +605,9 @@ let eval_dp ?positions ?(place = fun ~cur:_ d -> Some d) dl
   (* Finalize: every state (and the buffer-free base) tops out with the
      remaining wire hanging under the assumed upstream driver — the same
      convention and feasibility check as the greedy engine. *)
-  let finalize ~top_stub_len ~top_load ~assumed_span ~cost ~area =
+  let finalize ~top_id ~cls ~top_stub_len ~top_load ~assumed_span ~cost ~area =
     let top_ok = top_stub_len <= assumed_span in
-    (top_ok, cost +. top_wire_delay ~top_stub_len ~top_load, area)
+    (top_ok, cost +. top_wire_delay ~top_id ~cls ~top_stub_len ~top_load, area)
   in
   let best_final = ref None in
   let consider_final key (ok, c, a) =
@@ -396,7 +622,7 @@ let eval_dp ?positions ?(place = fun ~cur:_ d -> Some d) dl
     if better then best_final := Some (ok, c, a, key)
   in
   consider_final (-1, -1)
-    (finalize
+    (finalize ~top_id:base_top_id ~cls:cls_port
        ~top_stub_len:(length +. port.Port.stub_len)
        ~top_load:port.Port.stub_load ~assumed_span:assumed_span_port
        ~cost:port.Port.delay ~area:0.);
@@ -405,7 +631,7 @@ let eval_dp ?positions ?(place = fun ~cur:_ d -> Some d) dl
       match best_get i t with
       | Some st ->
           consider_final (i, t)
-            (finalize
+            (finalize ~top_id:cand_top_id.(i) ~cls:cls_of_type.(t)
                ~top_stub_len:(length -. p.(i))
                ~top_load:caps.(t) ~assumed_span:assumed_span_cap.(t)
                ~cost:st.s_cost ~area:st.s_area)

@@ -49,13 +49,20 @@ val span :
     class while meeting the slew target under the target input-slew
     assumption.
 
-    Domain-safety: the memo table is mutex-guarded and may be hit
-    from every domain of the synthesis pool concurrently; misses are
-    computed under the lock so each key is evaluated exactly once
+    The memo is a per-library arena of state-machine cells in one flat
+    array indexed (slew target, driver name, load class) — a hit is a
+    lock-free atomic read with no key allocation or hashing.
+
+    Domain-safety: the arena may be hit from every domain of the
+    synthesis pool concurrently. Misses are computed {e outside} the
+    global critical section; the per-cell empty/computing/ready state
+    machine (transitions under the mutex, waiters on a condition
+    variable) still guarantees each key is evaluated exactly once
     process-wide. Cached values are a pure function of the key, so which
     domain fills an entry never changes any result — the parallel flow
     stays bit-identical to the sequential one, and even the [Obs]
-    delay-library evaluation counts are schedule-independent. *)
+    delay-library evaluation counts are schedule-independent (the one
+    computing caller counts the miss; waiters count hits). *)
 
 val reset_span_cache : unit -> unit
 (** Empty the (process-global) span memo. For tests that compare [Obs]

@@ -310,28 +310,37 @@ let characterize ?(profile = Accurate) ?pool tech buffers =
 
 let clamp lo hi x = Float.max lo (Float.min hi x)
 
+(* Allocation-free: this runs on the span-memo hit path, where the
+   closure-and-ref version cost ~23 minor words per call (escaping refs
+   defeat float unboxing). A plain loop with non-escaping locals keeps
+   the identical first-wins nearest-in-log-space selection. *)
 let class_index t cap =
-  let best = ref 0 and best_d = ref Float.infinity in
-  Array.iteri
-    (fun i c ->
-      let d = Float.abs (log (cap /. c)) in
-      if d < !best_d then begin
-        best := i;
-        best_d := d
-      end)
-    t.classes;
+  let classes = t.classes in
+  let n = Array.length classes in
+  let best = ref 0 in
+  let best_d = ref Float.infinity in
+  for i = 0 to n - 1 do
+    let d = Float.abs (log (cap /. Array.unsafe_get classes i)) in
+    if d < !best_d then begin
+      best := i;
+      best_d := d
+    end
+  done;
   !best
 
 let branch_class_index t cap =
-  let best = ref t.branch_classes.(0) and best_d = ref Float.infinity in
-  Array.iter
-    (fun i ->
-      let d = Float.abs (log (cap /. t.classes.(i))) in
-      if d < !best_d then begin
-        best := i;
-        best_d := d
-      end)
-    t.branch_classes;
+  let bcs = t.branch_classes in
+  let n = Array.length bcs in
+  let best = ref bcs.(0) in
+  let best_d = ref Float.infinity in
+  for k = 0 to n - 1 do
+    let i = Array.unsafe_get bcs k in
+    let d = Float.abs (log (cap /. t.classes.(i))) in
+    if d < !best_d then begin
+      best := i;
+      best_d := d
+    end
+  done;
   !best
 
 let find_single t (drive : Buffer_lib.t) cap =
@@ -386,6 +395,7 @@ let max_length_for_slew t ~drive ~load_cap ~input_slew ~slew_limit =
       t.len_hi
 
 let load_class_cap t cap = t.classes.(class_index t cap)
+let n_classes t = Array.length t.classes
 let buffers t = t.buffers
 let tech t = t.tech
 let len_domain t = (t.len_lo, t.len_hi)

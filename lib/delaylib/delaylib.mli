@@ -103,6 +103,15 @@ val load_class_cap : t -> (float[@cts.unit "ff"]) -> (float[@cts.unit "ff"])
 (** Representative capacitance of the load class a given capacitance maps
     to — stable across nearby caps, usable as a memoization key. *)
 
+val class_index : t -> (float[@cts.unit "ff"]) -> int
+(** Index of that load class: [0 .. n_classes - 1]. Same equivalence
+    classes as {!load_class_cap} ([load_class_cap t c] is the
+    capacitance of class [class_index t c]); the integer form is the
+    key the arena memo tables index flat arrays with. *)
+
+val n_classes : t -> int
+(** Number of load classes the library quantizes into. *)
+
 val fit_report :
   t -> (string * (float[@cts.unit "ps"]) * (float[@cts.unit "ps"])) list
 (** Per-fit [(label, rms residual, max |residual|)] against the

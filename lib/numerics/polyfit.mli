@@ -4,9 +4,16 @@
     polynomial fits of simulation data over (input slew, wire length), and
     trivariate fits for branch components. Inputs are affinely normalized
     to [-1, 1] per dimension before fitting so the monomial normal
-    equations stay well conditioned. 
+    equations stay well conditioned.
 
-    Domain-safety: fitting allocates its own scratch matrices per call; no global state. *)
+    Surfaces carry their flattened monomial exponent table (an int
+    array built once at fit/parse time), and {!eval2}/{!eval3} walk the
+    canonical monomial order with running power products — they perform
+    no allocation per call and are bit-identical (same term values,
+    same summation order) to a naive exponent-table walk. This matters:
+    a small synthesis run performs ~10^5 surface evaluations.
+
+    Domain-safety: fitting allocates its own scratch matrices per call; no global state. Fitted surfaces are immutable and safe to share across domains. *)
 
 type surface2
 (** Bivariate polynomial surface [f (x, y)]. *)
@@ -18,20 +25,37 @@ val fit2 :
   degree:int -> (float * float) array -> float array -> surface2
 (** [fit2 ~degree pts zs] fits all monomials [x^i y^j] with
     [i + j <= degree] to the samples. Requires at least as many samples as
-    monomials. *)
+    monomials. Raises [Invalid_argument] when any sample coordinate or
+    value is NaN or infinite — a non-finite sample would otherwise
+    poison every coefficient and only surface as a strict-writer
+    refusal far from the cause. *)
 
 val eval2 : surface2 -> float -> float -> float
+(** Allocation-free evaluation (cached-powers loop). *)
 
 val fit3 :
   degree:int -> (float * float * float) array -> float array -> surface3
-(** Trivariate analogue of {!fit2} (total degree bound). *)
+(** Trivariate analogue of {!fit2} (total degree bound; same
+    non-finite-sample rejection). *)
 
 val eval3 : surface3 -> float -> float -> float -> float
+(** Allocation-free evaluation (cached-powers loop). *)
 
 val n_terms2 : int -> int
 (** Number of monomials of total degree <= d in two variables. *)
 
 val n_terms3 : int -> int
+
+val exponent_table2 : surface2 -> int array
+(** A copy of the flattened exponent table: [2*n_terms2] ints, the
+    [(i, j)] pair of monomial [c] at indices [2c, 2c+1], in the
+    canonical order ([i] ascending, then [j] ascending). The reference
+    oracle in the test suite evaluates through this table and asserts
+    bit-identity with {!eval2}. *)
+
+val exponent_table3 : surface3 -> int array
+(** Trivariate analogue: [3*n_terms3] ints, triples in canonical
+    order. *)
 
 val surface2_to_string : surface2 -> string
 (** One-line serialization (whitespace-separated floats), inverse of

@@ -38,6 +38,7 @@ type counter =
   | Timing_analyses
   | Topology_edge_costs
   | Topology_pairings
+  | Pool_spawn_shortfall
 
 type histogram = Buffers_per_level | Merges_per_level | Dp_candidates_per_level
 
@@ -66,8 +67,9 @@ let counter_index = function
   | Timing_analyses -> 21
   | Topology_edge_costs -> 22
   | Topology_pairings -> 23
+  | Pool_spawn_shortfall -> 24
 
-let n_counters = 24
+let n_counters = 25
 
 let all_counters =
   [
@@ -77,6 +79,7 @@ let all_counters =
     Dp_pruned; Dp_fallbacks; Span_cache_hits; Span_cache_misses;
     Delay_evals_single; Delay_evals_branch; Char_sims; Timing_stages;
     Timing_analyses; Topology_edge_costs; Topology_pairings;
+    Pool_spawn_shortfall;
   ]
 
 let counter_name = function
@@ -104,6 +107,7 @@ let counter_name = function
   | Timing_analyses -> "timing.analyses"
   | Topology_edge_costs -> "topology.edge_costs"
   | Topology_pairings -> "topology.pairings"
+  | Pool_spawn_shortfall -> "parallel.spawn_shortfall"
 
 let all_histograms =
   [ Buffers_per_level; Merges_per_level; Dp_candidates_per_level ]

@@ -63,6 +63,10 @@ type counter =
   | Timing_analyses  (** Whole-region analyses ({!Timing.analyze_driven}). *)
   | Topology_edge_costs  (** Eq. 4.1 edge-cost evaluations. *)
   | Topology_pairings  (** Pairs produced by level pairing. *)
+  | Pool_spawn_shortfall
+      (** Worker domains a {!Parallel.create} asked for but could not
+          spawn (resource exhaustion degraded the pool). Recorded once
+          per missing worker at creation; normally 0. *)
 
 type histogram =
   | Buffers_per_level  (** Buffers committed per merge level. *)

@@ -91,8 +91,19 @@ let worker pool =
     | None -> running := false (* stop *)
   done
 
+(* A shut-down pool has no workers and will never complete a pushed
+   job: submitting to one is a caller bug (typically a stale handle
+   kept across [set_default_size]), surfaced as [Invalid_argument]
+   rather than a hang. *)
+let check_live who pool =
+  Mutex.lock pool.mutex;
+  let stopped = pool.stop in
+  Mutex.unlock pool.mutex;
+  if stopped then invalid_arg (who ^ ": pool is shut down")
+
 let[@cts.guarded "mutex"] run_job pool job =
   if job.n > 0 then begin
+    check_live "Parallel.run_job" pool;
     Mutex.lock pool.mutex;
     pool.jobs <- job :: pool.jobs;
     Condition.broadcast pool.work_ready;
@@ -109,7 +120,23 @@ let[@cts.guarded "mutex"] run_job pool job =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 
-let create ?size () =
+let size pool = 1 + List.length pool.domains
+
+let[@cts.guarded "mutex"] shutdown pool =
+  Mutex.lock pool.mutex;
+  if pool.stop then Mutex.unlock pool.mutex
+  else begin
+    pool.stop <- true;
+    Condition.broadcast pool.work_ready;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join pool.domains;
+    Mutex.lock pool.mutex;
+    pool.domains <- [];
+    Mutex.unlock pool.mutex
+  end
+
+let create ?spawn ?size () =
+  let spawn = match spawn with Some f -> f | None -> Domain.spawn in
   let requested =
     Int.max 1 (match size with Some s -> Int.min s max_size | None -> default_size ())
   in
@@ -123,26 +150,28 @@ let create ?size () =
       domains = [];
     }
   in
-  (* Graceful degradation: keep whatever workers actually spawned. *)
+  (* Graceful degradation on resource exhaustion — [Failure] is what
+     [Domain.spawn] raises when the runtime cannot allocate another
+     domain: keep whatever workers actually spawned and record the
+     shortfall. Anything else (Out_of_memory, Stack_overflow,
+     Assert_failure, a broken [spawn] hook) is a genuine error: the old
+     blanket [with _ -> ()] swallowed those too, turning crashes into
+     mysteriously sequential runs. Those re-raise — with the workers
+     already spawned shut down first, so no domain leaks. *)
   (try
      for _ = 2 to requested do
-       pool.domains <- Domain.spawn (fun () -> worker pool) :: pool.domains
+       pool.domains <- spawn (fun () -> worker pool) :: pool.domains
      done
-   with _ -> ());
+   with
+  | Failure _ ->
+      Obs.incr
+        ~n:(requested - 1 - List.length pool.domains)
+        Obs.Pool_spawn_shortfall
+  | e ->
+      let bt = Printexc.get_raw_backtrace () in
+      shutdown pool;
+      Printexc.raise_with_backtrace e bt);
   pool
-
-let size pool = 1 + List.length pool.domains
-
-let shutdown pool =
-  Mutex.lock pool.mutex;
-  if pool.stop then Mutex.unlock pool.mutex
-  else begin
-    pool.stop <- true;
-    Condition.broadcast pool.work_ready;
-    Mutex.unlock pool.mutex;
-    List.iter Domain.join pool.domains;
-    pool.domains <- []
-  end
 
 let with_pool ?size f =
   let pool = create ?size () in
@@ -160,6 +189,7 @@ let with_pool ?size f =
    sequential fast path tasks increment the caller's accumulator
    directly, which yields the same totals. *)
 let map pool f arr =
+  check_live "Parallel.map" pool;
   let n = Array.length arr in
   if n = 0 then [||]
   else if n = 1 || size pool <= 1 then Array.map f arr

@@ -53,24 +53,40 @@ val default_size : unit -> int
     override if any, else [CTS_DOMAINS], else
     [Domain.recommended_domain_count ()] capped at 8. *)
 
-val create : ?size:int -> unit -> t
+val create : ?spawn:((unit -> unit) -> unit Domain.t) -> ?size:int -> unit -> t
 (** Create a pool with [size - 1] worker domains (default
-    {!default_size}; clamped to at least 1). Degrades gracefully: if a
-    domain fails to spawn, the pool runs with the workers it got —
-    possibly none, i.e. fully sequential. *)
+    {!default_size}; clamped to at least 1). Degrades gracefully on
+    resource exhaustion — the [Failure] that [Domain.spawn] raises when
+    the runtime cannot allocate another domain: the pool runs with the
+    workers it got (possibly none, i.e. fully sequential) and the
+    shortfall is recorded in [Obs.Pool_spawn_shortfall]. Any other
+    exception (e.g. [Out_of_memory], [Stack_overflow]) is a genuine
+    error and re-raises after the workers already spawned are shut
+    down.
+
+    [spawn] (default [Domain.spawn]) exists for tests that exercise the
+    degradation path without exhausting real domains; it must either
+    behave like [Domain.spawn] or raise. *)
 
 val size : t -> int
 (** Effective parallelism: 1 (the caller) + live worker domains. *)
 
 val shutdown : t -> unit
-(** Stop and join the workers. Idempotent. Jobs must not be in flight. *)
+(** Stop and join the workers. Idempotent. Jobs must not be in flight.
+    Submitting to a shut-down pool raises [Invalid_argument] (see
+    {!map}). *)
 
 val with_pool : ?size:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exceptions). *)
 
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map]. With a pool of size 1 (or arrays of length
-    at most 1) this {e is} [Array.map f arr] on the calling domain. *)
+    at most 1) this {e is} [Array.map f arr] on the calling domain.
+
+    Raises [Invalid_argument] when the pool has been {!shutdown} —
+    typically a stale handle kept across {!set_default_size}, which
+    used to either hang waiting for dead workers or silently run
+    sequentially. *)
 
 val iter : t -> ('a -> unit) -> 'a array -> unit
 (** Parallel [Array.iter]; same contracts as {!map}. *)

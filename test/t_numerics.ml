@@ -171,6 +171,122 @@ let golden_min_quadratic () =
   let x = Roots.golden_min (fun x -> (x -. 3.) ** 2.) 0. 10. in
   check_f 1e-6 "argmin" 3. x
 
+(* ---------------- zero-allocation eval bit-identity ---------------- *)
+
+(* Reference oracle for the cached-powers eval loops: walk the exponent
+   table with pow-products exactly as the pre-flattening implementation
+   did, with the surface internals recovered through the exact (%.17g)
+   serialization. [eval2]/[eval3] must match bit for bit — same term
+   values, same summation order — not merely to a tolerance. *)
+let pow x n =
+  let rec go acc n = if n = 0 then acc else go (acc *. x) (n - 1) in
+  go 1. n
+
+let reference_eval2 s x y =
+  match
+    String.split_on_char ' ' (String.trim (Polyfit.surface2_to_string s))
+  with
+  | _d :: cx :: hx :: cy :: hy :: rest ->
+      let f = float_of_string in
+      let coefs = Array.of_list (List.map f rest) in
+      let exps = Polyfit.exponent_table2 s in
+      let xn = (x -. f cx) /. f hx and yn = (y -. f cy) /. f hy in
+      let acc = ref 0. in
+      Array.iteri
+        (fun c coef ->
+          acc :=
+            !acc +. (coef *. pow xn exps.(2 * c) *. pow yn exps.((2 * c) + 1)))
+        coefs;
+      !acc
+  | _ -> assert false
+
+let reference_eval3 s x y z =
+  match
+    String.split_on_char ' ' (String.trim (Polyfit.surface3_to_string s))
+  with
+  | _d :: cx :: hx :: cy :: hy :: cz :: hz :: rest ->
+      let f = float_of_string in
+      let coefs = Array.of_list (List.map f rest) in
+      let exps = Polyfit.exponent_table3 s in
+      let xn = (x -. f cx) /. f hx
+      and yn = (y -. f cy) /. f hy
+      and zn = (z -. f cz) /. f hz in
+      let acc = ref 0. in
+      Array.iteri
+        (fun c coef ->
+          acc :=
+            !acc
+            +. (coef *. pow xn exps.(3 * c)
+               *. pow yn exps.((3 * c) + 1)
+               *. pow zn exps.((3 * c) + 2)))
+        coefs;
+      !acc
+  | _ -> assert false
+
+let bits_equal a b =
+  Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let qcheck_eval2_bit_identical =
+  QCheck.Test.make ~name:"eval2 bit-identical to exponent-table walk"
+    ~count:200
+    QCheck.(
+      triple (int_range 1 4) (float_range (-10.) 10.) (float_range (-10.) 10.))
+    (fun (degree, x, y) ->
+      let n = 7 in
+      let pts =
+        Array.init (n * n) (fun i ->
+            (float_of_int (i / n) /. 2., float_of_int (i mod n) /. 3.))
+      in
+      let zs =
+        Array.map
+          (fun (a, b) -> sin ((2. *. a) +. (3. *. b) +. float_of_int degree))
+          pts
+      in
+      let s = Polyfit.fit2 ~degree pts zs in
+      bits_equal (Polyfit.eval2 s x y) (reference_eval2 s x y))
+
+let qcheck_eval3_bit_identical =
+  QCheck.Test.make ~name:"eval3 bit-identical to exponent-table walk"
+    ~count:200
+    QCheck.(
+      pair (int_range 1 3)
+        (triple (float_range (-10.) 10.) (float_range (-10.) 10.)
+           (float_range (-10.) 10.)))
+    (fun (degree, (x, y, z)) ->
+      let n = 4 in
+      let pts =
+        Array.init (n * n * n) (fun i ->
+            ( float_of_int (i / (n * n)) /. 2.,
+              float_of_int (i / n mod n) /. 3.,
+              float_of_int (i mod n) /. 4. ))
+      in
+      let zs =
+        Array.map
+          (fun (a, b, c) ->
+            sin ((2. *. a) +. (3. *. b) -. c +. float_of_int degree))
+          pts
+      in
+      let s = Polyfit.fit3 ~degree pts zs in
+      bits_equal (Polyfit.eval3 s x y z) (reference_eval3 s x y z))
+
+(* -------------------- non-finite sample rejection ------------------ *)
+
+let polyfit_rejects_non_finite () =
+  let pts = [| (0., 0.); (1., 0.); (0., 1.); (1., 1.); (2., 2.); (nan, 0.) |] in
+  (match Polyfit.fit2 ~degree:1 pts (Array.make 6 1.) with
+  | _ -> Alcotest.fail "fit2 accepted a NaN coordinate"
+  | exception Invalid_argument _ -> ());
+  let pts = [| (0., 0.); (1., 0.); (0., 1.) |] in
+  (match Polyfit.fit2 ~degree:1 pts [| 0.; infinity; 1. |] with
+  | _ -> Alcotest.fail "fit2 accepted an infinite value"
+  | exception Invalid_argument _ -> ());
+  let pts3 =
+    [| (0., 0., 0.); (1., 0., 0.); (0., 1., 0.); (0., 0., neg_infinity) |]
+  in
+  match Polyfit.fit3 ~degree:1 pts3 [| 0.; 1.; 2.; 3. |] with
+  | _ -> Alcotest.fail "fit3 accepted an infinite coordinate"
+  | exception Invalid_argument _ -> ()
+
 let qcheck_bisect_finds_root =
   QCheck.Test.make ~name:"bisect solves monotone cubic" ~count:200
     QCheck.(float_range 0.1 50.)
@@ -202,5 +318,9 @@ let suite =
     Alcotest.test_case "bisect endpoints" `Quick bisect_endpoint_root;
     Alcotest.test_case "bisect no sign change" `Quick bisect_no_sign_change;
     Alcotest.test_case "golden min" `Quick golden_min_quadratic;
+    Alcotest.test_case "polyfit rejects non-finite samples" `Quick
+      polyfit_rejects_non_finite;
+    QCheck_alcotest.to_alcotest qcheck_eval2_bit_identical;
+    QCheck_alcotest.to_alcotest qcheck_eval3_bit_identical;
     QCheck_alcotest.to_alcotest qcheck_bisect_finds_root;
   ]

@@ -218,6 +218,66 @@ let qcheck_counters_schedule_independent =
       s1.Obs.counters = s4.Obs.counters
       && s1.Obs.histograms = s4.Obs.histograms)
 
+(* ------------------ memo tables vs direct compute ------------------ *)
+
+(* The arena/flat-table rewrites of the hot-path memos must be
+   invisible: a memoized lookup returns the exact value the direct
+   computation yields, on the miss path and on the hit path alike. *)
+
+let qcheck_span_arena_matches_direct =
+  QCheck.Test.make ~name:"obs: Run.span arena = direct max_length_for_slew"
+    ~count:40
+    QCheck.(pair (int_range 0 1000) (float_range 1e-15 60e-15))
+    (fun (salt, load_cap) ->
+      let dl = T_env.get_dl () in
+      let cfg = Cts_config.default dl in
+      let bufs = Array.of_list (Delaylib.buffers dl) in
+      let drive = bufs.(salt mod Array.length bufs) in
+      (* Exercise the layout-growth path too: every distinct slew
+         target appends a slew row to the arena. *)
+      let cfg =
+        {
+          cfg with
+          Cts_config.slew_target =
+            cfg.Cts_config.slew_target
+            *. (1. +. (float_of_int (salt mod 5) /. 100.));
+        }
+      in
+      let direct =
+        Delaylib.max_length_for_slew dl ~drive ~load_cap
+          ~input_slew:cfg.Cts_config.slew_target
+          ~slew_limit:cfg.Cts_config.slew_target
+      in
+      let first = Run.span dl cfg ~drive ~load_cap in
+      let second = Run.span dl cfg ~drive ~load_cap in
+      Float.equal first direct && Float.equal second direct)
+
+let qcheck_maze_memo_matches_direct =
+  QCheck.Test.make ~name:"obs: Maze.eval_memo = direct Run.eval" ~count:20
+    QCheck.(pair (int_range 0 4000) (int_range 0 1000))
+    (fun (key, salt) ->
+      let dl = T_env.get_dl () in
+      let cfg = Cts_config.default dl in
+      let spec = List.hd (T_env.random_sinks ~seed:(200 + salt) ~n:2 ~die:2000. ()) in
+      let port = Port.of_sink spec in
+      let memo = Maze.eval_memo dl cfg port ~max_d:400. in
+      (* On-grid distances are their own quantization representatives,
+         so the memo must agree with the direct evaluation exactly. *)
+      let d = float_of_int (key mod 4001) /. 10. in
+      let first = memo d in
+      let second = memo d in
+      first == second && first = Run.eval dl cfg port d)
+
+let test_maze_memo_bounds () =
+  let dl = T_env.get_dl () in
+  let cfg = Cts_config.default dl in
+  let spec = List.hd (T_env.random_sinks ~seed:3 ~n:2 ~die:1000. ()) in
+  let memo = Maze.eval_memo dl cfg (Port.of_sink spec) ~max_d:50. in
+  ignore (memo 50.);
+  match memo 80. with
+  | _ -> Alcotest.fail "expected Invalid_argument beyond max_d"
+  | exception Invalid_argument _ -> ()
+
 let suite =
   [
     Alcotest.test_case "maze cache key rounds to nearest" `Quick test_cache_key;
@@ -234,4 +294,8 @@ let suite =
     Alcotest.test_case "observing perturbs nothing and counts" `Slow
       test_enabled_run_identical_and_counted;
     QCheck_alcotest.to_alcotest qcheck_counters_schedule_independent;
+    Alcotest.test_case "maze memo rejects beyond max_d" `Quick
+      test_maze_memo_bounds;
+    QCheck_alcotest.to_alcotest qcheck_span_arena_matches_direct;
+    QCheck_alcotest.to_alcotest qcheck_maze_memo_matches_direct;
   ]

@@ -50,6 +50,55 @@ let test_size_one_matches_array_map () =
         (Array.map f input)
         (Parallel.map p f input))
 
+(* Spawn-failure handling: [Failure] (resource exhaustion) degrades the
+   pool and records the shortfall; anything else escapes [create]. The
+   [spawn] hook simulates both without exhausting real domains. *)
+let test_spawn_failure_degrades () =
+  let spawned = ref 0 in
+  let spawn f =
+    if !spawned >= 1 then failwith "simulated domain exhaustion"
+    else begin
+      incr spawned;
+      Domain.spawn f
+    end
+  in
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Obs.set_enabled was)
+    (fun () ->
+      let before = Obs.read Obs.Pool_spawn_shortfall in
+      let p = Parallel.create ~spawn ~size:4 () in
+      Fun.protect
+        ~finally:(fun () -> Parallel.shutdown p)
+        (fun () ->
+          check Alcotest.int "kept the workers that spawned" 2
+            (Parallel.size p);
+          check Alcotest.int "shortfall recorded" (before + 2)
+            (Obs.read Obs.Pool_spawn_shortfall);
+          check (Alcotest.array Alcotest.int) "degraded pool still works"
+            [| 1; 4; 9 |]
+            (Parallel.map p (fun x -> x * x) [| 1; 2; 3 |])))
+
+exception Spawn_bug
+
+let test_spawn_error_reraises () =
+  (* A non-[Failure] exception is a genuine error, not exhaustion: the
+     old blanket handler swallowed it into a silently sequential pool. *)
+  match Parallel.create ~spawn:(fun _ -> raise Spawn_bug) ~size:3 () with
+  | _ -> Alcotest.fail "expected Spawn_bug to escape create"
+  | exception Spawn_bug -> ()
+
+let test_map_after_shutdown_raises () =
+  (* A stale handle (e.g. kept across [set_default_size]) must fail
+     loudly instead of hanging on dead workers or silently running
+     sequentially. *)
+  let p = Parallel.create ~size:2 () in
+  Parallel.shutdown p;
+  match Parallel.map p (fun x -> x) [| 1; 2; 3 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument on shut-down pool"
+  | exception Invalid_argument _ -> ()
+
 let test_env_var_parsing () =
   check (Alcotest.option Alcotest.int) "positive" (Some 3) (Parallel.parse_size "3");
   check (Alcotest.option Alcotest.int) "one" (Some 1) (Parallel.parse_size "1");
@@ -200,6 +249,12 @@ let suite =
       test_exception_propagates_pool_survives;
     Alcotest.test_case "pool of 1 equals Array.map" `Quick
       test_size_one_matches_array_map;
+    Alcotest.test_case "spawn failure degrades and records shortfall" `Quick
+      test_spawn_failure_degrades;
+    Alcotest.test_case "non-failure spawn error re-raises" `Quick
+      test_spawn_error_reraises;
+    Alcotest.test_case "map on a shut-down pool raises" `Quick
+      test_map_after_shutdown_raises;
     Alcotest.test_case "CTS_DOMAINS parsing" `Quick test_env_var_parsing;
     Alcotest.test_case "CTS_DOMAINS=1 forces sequential" `Quick
       test_cts_domains_forces_sequential;
