@@ -24,12 +24,15 @@ bench-par:
 # CI smoke: the quick parallel benchmark plus an explicit check that the
 # 1-domain and 4-domain runs produced identical results (the benchmark
 # itself exits non-zero on a violation; the grep keeps the contract
-# visible even if someone relaxes that). CI uploads BENCH_parallel.json.
+# visible even if someone relaxes that), then the hot-kernel allocation
+# gate — the kernels PR 8 drove to zero words/run must stay there (the
+# bench exits 1 on a budget breach). CI uploads BENCH_parallel.json.
 bench-smoke: bench-par
 	@if ! grep -q '"identical": true' BENCH_parallel.json \
 	  || grep -q '"identical": false' BENCH_parallel.json; then \
 	  echo "bench-smoke: parallel run not identical to sequential"; exit 1; fi
 	@echo "bench-smoke: BENCH_parallel.json OK (identical=true)"
+	dune exec bench/main.exe -- --profile fast --alloc-gate
 
 # QoR regression gate: synthesize the canonical fast-profile benchmark
 # (writes BENCH_qor.json) and compare it against the committed baseline
@@ -57,6 +60,23 @@ qor-baseline-dp:
 	dune exec bench/main.exe -- --profile fast --insertion dp --qor-bench
 	cp BENCH_qor_dp.json bench/baselines/BENCH_qor_dp.json
 	@echo "baseline refreshed: bench/baselines/BENCH_qor_dp.json"
+
+# Cost-regression gate: synthesize the same canonical benchmark with
+# observability on (writes BENCH_obs.json — counters, gauges, cache
+# rates; no runtime section, so the file is byte-identical at any
+# CTS_DOMAINS) and diff it against the committed baseline under the
+# Obs_diff budgets. Exit 6 = a gated cost metric regressed.
+obs-gate:
+	dune exec bench/main.exe -- --profile fast --obs-bench
+	dune exec bin/cts_run.exe -- obs diff \
+	  bench/baselines/BENCH_obs_fast.json BENCH_obs.json
+
+# Refresh the committed cost baseline after an intentional change
+# (algorithm work that legitimately moves counters).
+obs-baseline:
+	dune exec bench/main.exe -- --profile fast --obs-bench
+	cp BENCH_obs.json bench/baselines/BENCH_obs_fast.json
+	@echo "baseline refreshed: bench/baselines/BENCH_obs_fast.json"
 
 # All three lint passes: determinism / domain-safety rules (L1-L5),
 # the physical-units checker (U1-U4) and the concurrency-effect race
@@ -100,10 +120,13 @@ lint-fixtures:
 	@echo "lint-fixtures: all seeded fixtures fire (U1-U4, C1-C5)"
 
 # Observability smoke test: synthesize a small synthetic benchmark with
-# --stats and --trace, then validate the emitted Chrome trace JSON.
+# --stats and --trace, then validate the emitted Chrome trace JSON
+# (hierarchical span tree, flow events, counter/gauge events). Forced
+# to 4 domains so pool-task spans and cross-domain flow events actually
+# appear even on a single-CPU host.
 trace-smoke:
 	dune build bin/cts_run.exe
-	dune exec bin/cts_run.exe -- synth --bench r1 --scale 0.05 \
+	CTS_DOMAINS=4 dune exec bin/cts_run.exe -- synth --bench r1 --scale 0.05 \
 	  --profile fast --cache .cache/delaylib_fast.txt \
 	  --stats --trace trace_smoke.json
 	dune exec bin/cts_run.exe -- trace-check trace_smoke.json
@@ -113,9 +136,18 @@ examples:
 	         delay_model_tour tree_gallery; do \
 	  echo "== $$e =="; dune exec examples/$$e.exe; done
 
-clean:
+# Generated root scratch: lint/race reports, bench outputs, fixture
+# smoke reports, the cached characterization text and the smoke trace.
+# Committed baselines under bench/baselines/ are untouched.
+clean-artifacts:
+	rm -f lint_report.json race_report.json lint_fixtures.json \
+	  race_fixtures.json BENCH_*.json test_delaylib_fast.txt \
+	  trace_smoke.json
+
+clean: clean-artifacts
 	dune clean
 
 .PHONY: all test test-par bench bench-full bench-par bench-smoke \
-        qor-gate qor-baseline qor-gate-dp qor-baseline-dp lint lint-units \
-        lint-race lint-fixtures trace-smoke examples clean
+        qor-gate qor-baseline qor-gate-dp qor-baseline-dp \
+        obs-gate obs-baseline lint lint-units \
+        lint-race lint-fixtures trace-smoke examples clean clean-artifacts

@@ -5,6 +5,8 @@ type opts = {
   kernels : bool;
   parallel_bench : bool;
   qor_bench : bool;
+  obs_bench : bool;
+  alloc_gate : bool;
   trace : string option;
   stats : bool;
   help : bool;
@@ -19,6 +21,8 @@ let default =
     kernels = true;
     parallel_bench = false;
     qor_bench = false;
+    obs_bench = false;
+    alloc_gate = false;
     trace = None;
     stats = false;
     help = false;
@@ -29,7 +33,8 @@ let usage ~known =
   Printf.sprintf
     "usage: main.exe [--scale F] [--profile fast|accurate] \
      [--insertion greedy|dp] [--no-kernels] [--parallel-bench] \
-     [--qor-bench] [--stats] [--trace FILE] [experiment ...]\n\
+     [--qor-bench] [--obs-bench] [--alloc-gate] [--stats] [--trace FILE] \
+     [experiment ...]\n\
      experiments: %s"
     (String.concat " " known)
 
@@ -70,6 +75,8 @@ let parse ~known args =
     | "--no-kernels" :: rest -> go { acc with kernels = false } rest
     | "--parallel-bench" :: rest -> go { acc with parallel_bench = true } rest
     | "--qor-bench" :: rest -> go { acc with qor_bench = true } rest
+    | "--obs-bench" :: rest -> go { acc with obs_bench = true } rest
+    | "--alloc-gate" :: rest -> go { acc with alloc_gate = true } rest
     | "--trace" :: rest -> (
         match rest with
         | [] -> Error "option --trace needs a value (output file)"

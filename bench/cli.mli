@@ -15,6 +15,12 @@ type opts = {
   parallel_bench : bool;  (** Run only the parallel-speedup benchmark. *)
   qor_bench : bool;
       (** Run only the canonical QoR benchmark (writes [BENCH_qor.json]). *)
+  obs_bench : bool;
+      (** Run only the canonical obs cost benchmark (writes
+          [BENCH_obs.json] for [make obs-gate]). *)
+  alloc_gate : bool;
+      (** Run only the hot-path kernels and fail (exit 1) if any
+          allocates beyond the per-run budget. *)
   trace : string option;
       (** Write a Chrome trace-event JSON of the run to this file. *)
   stats : bool;  (** Print observability counters after the run. *)

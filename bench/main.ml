@@ -35,6 +35,15 @@ let () =
   if opts.Cli.parallel_bench then Par_bench.run ~profile:opts.Cli.profile ()
   else if opts.Cli.qor_bench then
     Qor_bench.run ~insertion:opts.Cli.insertion ~profile:opts.Cli.profile ()
+  else if opts.Cli.obs_bench then
+    Qor_bench.run_obs ~insertion:opts.Cli.insertion ~profile:opts.Cli.profile
+      ()
+  else if opts.Cli.alloc_gate then begin
+    let env =
+      Experiments.make_env ~profile:opts.Cli.profile ~scale:opts.Cli.scale ()
+    in
+    Kernels.alloc_gate env
+  end
   else begin
     let todo =
       match opts.Cli.selected with

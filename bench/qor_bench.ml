@@ -68,3 +68,57 @@ let run ?(insertion = Cts_config.Greedy) ~profile () =
         r.Qor.area_x)
     q.Qor.buffers_by_type;
   Printf.printf "  wrote %s\n%!" out_file
+
+(* Cost-side twin of [run] behind `make obs-gate`: same canonical
+   instance, but the artifact is the Obs_snapshot (counters, gauges,
+   histograms — no runtime section, so the file is byte-identical
+   across runs and CTS_DOMAINS values) written to BENCH_obs.json for
+   `cts_run obs diff` against bench/baselines/BENCH_obs_fast.json. *)
+let run_obs ?(insertion = Cts_config.Greedy) ~profile () =
+  let profile_name =
+    match profile with
+    | Delaylib.Fast -> "fast"
+    | Delaylib.Accurate -> "accurate"
+  in
+  let out_file = "BENCH_obs.json" in
+  let cache = Printf.sprintf ".cache/delaylib_%s.txt" profile_name in
+  (try
+     if not (Sys.file_exists ".cache") then Unix.mkdir ".cache" 0o755
+   with Unix.Unix_error _ -> ());
+  Printf.printf
+    "=== obs cost snapshot (%s, scale %.2f, profile %s) ===\n%!"
+    bench_name bench_scale profile_name;
+  let dl =
+    Delaylib.load_or_characterize ~profile ~cache Circuit.Tech.default
+      Circuit.Buffer_lib.default_library
+  in
+  let d = Bmark.Synthetic.scaled (Bmark.Synthetic.find bench_name) bench_scale in
+  let sinks = Bmark.Synthetic.sinks d in
+  let config = Cts_config.with_insertion (Cts_config.default dl) insertion in
+  (* The span arena is process-global: empty it so the snapshot's
+     span-cache misses measure this synthesis from cold, not whatever
+     ran earlier in the process. *)
+  Run.reset_span_cache ();
+  Obs.reset ();
+  Obs.set_enabled true;
+  ignore
+    (Obs.phase "synthesize" (fun () -> Cts.synthesize ~config dl sinks)
+      : Cts.result);
+  let obs = Obs.snapshot () in
+  Obs.set_enabled false;
+  let label =
+    match insertion with
+    | Cts_config.Greedy -> bench_name
+    | Cts_config.Optimal_dp -> bench_name ^ "-dp"
+  in
+  let snap = Obs_snapshot.of_obs ~label obs in
+  Obs_snapshot.write_file out_file snap;
+  let total l = List.fold_left (fun a (_, v) -> a + v) 0 l in
+  Printf.printf "  %d counters (sum %d), %d gauges\n%!"
+    (List.length snap.Obs_snapshot.counters)
+    (total snap.Obs_snapshot.counters)
+    (List.length snap.Obs_snapshot.gauges);
+  List.iter
+    (fun (name, pct) -> Printf.printf "    %s: %.2f%%\n%!" name pct)
+    (Obs_snapshot.derived_rates snap);
+  Printf.printf "  wrote %s\n%!" out_file

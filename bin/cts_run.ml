@@ -491,6 +491,107 @@ let compare_cmd =
           snapshot cannot be read.")
     Term.(const run $ baseline_t $ candidate_t)
 
+(* ---------------------------- obs --------------------------------- *)
+
+(* The cost-side mirror of qor/compare: [obs snapshot] emits a
+   canonical Obs_snapshot of one synthesis, [obs diff] gates a
+   candidate snapshot against a baseline with the Qor_compare
+   classifier under the Obs_diff budgets. *)
+
+let obs_snapshot_cmd =
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH"
+          ~doc:"Write the snapshot to this file instead of stdout.")
+  in
+  let runtime_t =
+    Arg.(
+      value & flag
+      & info [ "runtime" ]
+          ~doc:
+            "Include the span-tree runtime section (wall-clock times, \
+             GC deltas). Off by default: runtime is non-deterministic \
+             and breaks the byte-identity guarantee of the snapshot \
+             (obs diff ignores it either way).")
+  in
+  let run bench file format scale profile cache insertion out with_runtime
+      domains verbose =
+    setup_logs verbose;
+    setup_domains domains;
+    let dl = load_dl profile cache in
+    let sinks = sinks_of ~bench ~file ~format ~scale in
+    let config = { (Cts_config.default dl) with Cts_config.insertion } in
+    (* Scoped to synthesis alone, after the library load, exactly like
+       the qor command: a cold characterization cache cannot perturb
+       the counter totals. *)
+    Obs.reset ();
+    Obs.set_enabled true;
+    ignore
+      (Obs.phase "synthesize" (fun () -> Cts.synthesize ~config dl sinks)
+        : Cts.result);
+    let obs = Obs.snapshot () in
+    Obs.set_enabled false;
+    let label =
+      match (bench, file) with
+      | Some name, _ -> name
+      | None, Some path -> Filename.basename path
+      | None, None -> "unnamed"
+    in
+    let snap = Obs_snapshot.of_obs ~label ~runtime:with_runtime obs in
+    match out with
+    | Some path ->
+        Obs_snapshot.write_file path snap;
+        Printf.printf "obs snapshot written to %s\n" path
+    | None -> print_string (Obs_snapshot.render snap)
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "Synthesize and emit a versioned obs cost snapshot (JSON). \
+          Deterministic: byte-identical at any --domains value.")
+    Term.(
+      const run $ bench_t $ file_t $ format_t $ scale_t $ profile_t $ cache_t
+      $ insertion_t $ out_t $ runtime_t $ domains_t $ verbose_t)
+
+let obs_diff_cmd =
+  let baseline_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline obs snapshot (JSON).")
+  in
+  let candidate_t =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CANDIDATE" ~doc:"Candidate obs snapshot (JSON).")
+  in
+  let run base_path cand_path =
+    match Obs_diff.compare_files ~baseline:base_path cand_path with
+    | Error msg ->
+        Printf.eprintf "cts_run: %s\n" msg;
+        exit 2
+    | Ok rep ->
+        print_string (Qor_compare.render rep);
+        exit (Qor_compare.exit_code rep)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two obs cost snapshots counter by counter. Exits 6 \
+          when any gated counter, gauge or rate regressed beyond its \
+          budget, 2 when a snapshot cannot be read.")
+    Term.(const run $ baseline_t $ candidate_t)
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:"Observability cost snapshots: emit and diff (the cost-side \
+             counterpart of qor/compare)")
+    [ obs_snapshot_cmd; obs_diff_cmd ]
+
 (* ------------------------- trace-check ---------------------------- *)
 
 let trace_check_cmd =
@@ -534,5 +635,6 @@ let () =
             experiments_cmd;
             qor_cmd;
             compare_cmd;
+            obs_cmd;
             trace_check_cmd;
           ]))

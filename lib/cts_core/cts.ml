@@ -372,6 +372,9 @@ let synthesize ?config ?(blockages = Blockage.empty) ?pool ?(check = false) dl
       (Obs.read Obs.Merges_routed - merges0);
     Obs.hist_add Obs.Dp_candidates_per_level ~bucket:!levels
       (Obs.read Obs.Dp_candidates - dp_cands0);
+    (* Phase-boundary sample: the final level's write is the snapshot's
+       end-of-synthesis arena occupancy. *)
+    Run.sample_span_gauges dl;
     Log.debug (fun m ->
         m "level %d: %d -> %d subtrees" !levels (Array.length items)
           (List.length !next));

@@ -39,6 +39,10 @@ let cache_key d = int_of_float (Float.round (d *. 10.))
    keys, no hashing. *)
 let eval_memo dl cfg port ~max_d =
   let table = Array.make (Int.max 0 (cache_key max_d) + 2) None in
+  (* Table size is a pure function of the probe geometry, so the
+     additive gauge total is schedule-independent; with the
+     Eval_cache_misses counter it yields the memo fill rate. *)
+  Obs.gauge_add Obs.Maze_memo_slots (Array.length table);
   fun d ->
     let key = cache_key d in
     match table.(key) with

@@ -226,6 +226,28 @@ let[@cts.guarded "mutex:span_mutex"] reset_span_cache () =
   Atomic.set span_arenas [];
   Mutex.unlock span_mutex
 
+(* Arena-occupancy gauges, sampled at phase boundaries on the
+   coordinator (Cts.synthesize level loop). Scans the cell array, so it
+   stays out of the hot path by construction; the layout read is the
+   same lock-free atomic load the hit path uses, and a cell counts as
+   filled only in the ready state — cells mid-computation are still
+   misses-in-flight. *)
+let sample_span_gauges dl =
+  if Obs.enabled () then begin
+    match find_arena dl (Atomic.get span_arenas) with
+    | exception Not_found ->
+        Obs.gauge_set Obs.Span_arena_slots 0;
+        Obs.gauge_set Obs.Span_arena_filled 0
+    | arena ->
+        let lay = Atomic.get arena.sa_layout in
+        let filled = ref 0 in
+        Array.iter
+          (fun cell -> if Atomic.get cell.sc_state = 2 then incr filled)
+          lay.sl_cells;
+        Obs.gauge_set Obs.Span_arena_slots (Array.length lay.sl_cells);
+        Obs.gauge_set Obs.Span_arena_filled !filled
+  end
+
 let stage_delay dl (cfg : Cts_config.t) drive ~length ~load_cap =
   let e =
     Delaylib.eval_single dl ~drive ~load_cap ~input_slew:cfg.slew_target
@@ -638,6 +660,21 @@ let eval_dp ?positions ?(place = fun ~cur:_ d -> Some d) dl
       | None -> ()
     done
   done;
+  (* Memo-effectiveness gauges: slots allocated vs. slots written for
+     this eval's two flat tables. Additive across evals (and absorbed
+     from task deltas in task-index order), so the totals are
+     schedule-independent; the scan runs only when observability is on
+     and costs O(slots) against the O(b n^2) DP that just ran. *)
+  if Obs.enabled () then begin
+    let filled tab =
+      let k = ref 0 in
+      Array.iter (fun d -> if d >= 0. then incr k) tab;
+      !k
+    in
+    Obs.gauge_add Obs.Dp_memo_slots
+      (Array.length sd_tab + Array.length top_tab);
+    Obs.gauge_add Obs.Dp_memo_filled (filled sd_tab + filled top_tab)
+  end;
   let feasible, (ri, rt) =
     match !best_final with
     | Some (ok, _, _, key) -> (ok, key)

@@ -70,6 +70,15 @@ val reset_span_cache : unit -> unit
     misses. Never needed for correctness — cached values are a pure
     function of the key. *)
 
+val sample_span_gauges : Delaylib.t -> unit
+(** Write the {!Obs.Span_arena_slots} / {!Obs.Span_arena_filled} gauges
+    from [dl]'s span-arena occupancy (0/0 when no arena exists yet).
+    Sampled, so call it at phase boundaries on the coordinator — the
+    synthesis level loop does. No-op when observability is disabled.
+
+    Domain-safety: reads the arena through the same lock-free atomic
+    loads as the hit path; never blocks pool workers. *)
+
 val eval :
   ?place:(cur:(float[@cts.unit "um"]) -> (float[@cts.unit "um"]) ->
           (float[@cts.unit "um"]) option) ->

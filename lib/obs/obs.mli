@@ -1,13 +1,15 @@
-(** Deterministic observability: typed counters, histograms and phase
-    timers for the synthesis hot paths, with export as a summary table
-    and as Chrome trace-event JSON.
+(** Deterministic observability: typed counters, histograms,
+    cache-effectiveness gauges and hierarchical phase spans for the
+    synthesis hot paths, with export as a summary table, as Chrome
+    trace-event JSON, and (through {!Obs_snapshot}) as a canonical,
+    diffable snapshot file.
 
     {b Determinism contract.} The layer is measurement-only: no counter,
-    histogram or timer value ever feeds back into a synthesis decision,
-    so the synthesized tree is bit-identical whether the layer is
-    enabled or not. Counter storage is domain-sharded: each domain owns
-    a stack of accumulators in domain-local storage, whose bottom
-    element on the main domain holds the process totals.
+    histogram, gauge or timer value ever feeds back into a synthesis
+    decision, so the synthesized tree is bit-identical whether the layer
+    is enabled or not. Counter and gauge storage is domain-sharded: each
+    domain owns a stack of accumulators in domain-local storage, whose
+    bottom element on the main domain holds the process totals.
     {!Parallel.map} brackets every pool task with {!task_enter} /
     {!task_leave} and absorbs the resulting {!delta}s into the caller in
     task-index order — the same discipline as the merge replay log of
@@ -15,6 +17,9 @@
     run on the same input. (Counts are integers, so absorption order
     cannot even introduce rounding differences; the ordering is kept to
     mirror the replay-log pattern and keep the contract uniform.)
+    Span ids, wall-clock times and GC words are {e not} deterministic;
+    {!Obs_snapshot} therefore confines them to an optional runtime
+    section that the CI gate omits.
 
     {b Overhead.} Disabled (the default), every recording entry point
     checks one [bool ref] and returns — instrumented hot loops pay a
@@ -24,10 +29,12 @@
     {!Clock} ([lib/obs/obs_clock.ml]), the one sanctioned wall-clock
     site under [lib/] outside report/bench (lint rule L3).
 
-    Domain-safety: counter accumulators live in domain-local storage
-    (never shared between domains); cross-domain merging happens only
-    through {!task_leave}/{!task_absorb} delta hand-off on the
-    coordinator, and the phase-span log sits behind a mutex. *)
+    Domain-safety: counter/gauge accumulators and the open-span stack
+    live in domain-local storage (never shared between domains);
+    cross-domain merging happens only through {!task_leave} /
+    {!task_absorb} delta hand-off on the coordinator, span ids come from
+    one atomic counter, and the completed-span log sits behind a
+    mutex. *)
 
 module Clock : sig
   val now : unit -> float
@@ -84,6 +91,50 @@ val histogram_name : histogram -> string
 val all_counters : counter list
 (** Every counter, in the fixed reporting order. *)
 
+val all_histograms : histogram list
+
+(** {1 Gauges}
+
+    Cache-effectiveness gauges answer the question hit/miss counters
+    cannot: was a cache cold, right-sized, or thrashing? Two recording
+    disciplines share the type. {e Sampled} gauges
+    ({!Span_arena_slots}, {!Span_arena_filled}) are point-in-time sizes
+    written with {!gauge_set} at phase boundaries on the coordinator.
+    {e Additive} gauges ({!Maze_memo_slots}, {!Dp_memo_slots},
+    {!Dp_memo_filled}) accumulate with {!gauge_add} exactly like
+    counters and are absorbed from task deltas in task-index order, so
+    both kinds end up schedule-independent. *)
+
+type gauge =
+  | Span_arena_slots
+      (** Total cells across all {!Run.span} arena layouts (sampled). *)
+  | Span_arena_filled
+      (** Arena cells holding a computed span result (sampled). *)
+  | Maze_memo_slots
+      (** Slots allocated across maze per-side eval memo tables
+          (additive, one contribution per table created). *)
+  | Dp_memo_slots
+      (** Slots allocated across DP memo tables (additive). *)
+  | Dp_memo_filled
+      (** DP memo slots actually written (additive). *)
+
+val gauge_name : gauge -> string
+val all_gauges : gauge list
+
+val gauge_set : gauge -> int -> unit
+(** Overwrite a sampled gauge in the calling domain's active
+    accumulator. Coordinator-only by convention: call it outside pool
+    tasks so the value lands in the process totals. No-op when
+    disabled. *)
+
+val gauge_add : gauge -> int -> unit
+(** Add to an additive gauge (task-safe; absorbed like a counter).
+    No-op when disabled or the amount is zero. *)
+
+val gauge_read : gauge -> int
+(** Current value in the calling domain's active accumulator; 0 when
+    disabled. *)
+
 (** {1 Enabling} *)
 
 val set_enabled : bool -> unit
@@ -108,8 +159,8 @@ val read : counter -> int
     disabled. *)
 
 val reset : unit -> unit
-(** Zero the calling domain's active accumulator and drop all recorded
-    phase spans. *)
+(** Zero the calling domain's active accumulator, rewind the span-id
+    counter and drop all recorded phase spans. *)
 
 (** {1 Task sharding (used by [Parallel.map])} *)
 
@@ -118,14 +169,32 @@ type delta
 
 val no_delta : delta
 
-val task_enter : unit -> bool
-(** Push a task-private accumulator on the calling domain's stack.
-    Returns whether one was pushed (false when the layer is disabled);
-    pass the result to {!task_leave}. *)
+type task_ctx
+(** The coordinator-side context a pool job captures at submission: the
+    open span (if any) under which every task span of the job should
+    hang. Capture once per job with {!task_context} on the submitting
+    domain and pass the same value to every {!task_enter}. *)
 
-val task_leave : bool -> delta
-(** Pop the task-private accumulator and return its content as a delta
-    ({!no_delta} when {!task_enter} pushed nothing). *)
+val no_task_ctx : task_ctx
+
+val task_context : unit -> task_ctx
+(** Snapshot the calling domain's innermost open span ({!no_task_ctx}
+    when the layer is disabled — task spans are then not recorded). *)
+
+type task_token
+(** Proof that {!task_enter} ran, carrying what {!task_leave} must undo:
+    whether an accumulator was pushed, and the task span in flight. *)
+
+val task_enter : ?ctx:task_ctx -> unit -> task_token
+(** Push a task-private accumulator on the calling domain's stack and,
+    when [ctx] carries a submission context, open a ["pool.task"] span
+    parented under the coordinator span. Returns the token to pass to
+    {!task_leave}. *)
+
+val task_leave : task_token -> delta
+(** Close the task span (if any), pop the task-private accumulator and
+    return its content as a delta ({!no_delta} when {!task_enter}
+    pushed nothing). *)
 
 val task_absorb : delta -> unit
 (** Fold a task's delta into the calling domain's active accumulator.
@@ -133,18 +202,43 @@ val task_absorb : delta -> unit
 
 (** {1 Phases} *)
 
-type span = { span_name : string; t_start : float; t_stop : float }
-(** One timed phase (seconds, {!Clock} timebase). *)
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+(** [Gc.quick_stat] movement across one phase. Words are OCaml words
+    allocated (minor includes what was later promoted); collection
+    counts are completed GC slices. *)
+
+type span = {
+  span_id : int;  (** Unique per process run (atomic allocation). *)
+  parent_id : int;  (** [-1] for a root span. *)
+  depth : int;  (** 0 for roots; parent depth + 1 otherwise. *)
+  domain : int;  (** Domain the span ran on (trace lane). *)
+  span_name : string;
+  t_start : float;
+  t_stop : float;  (** Seconds, {!Clock} timebase. *)
+  gc : gc_delta option;
+      (** Present only for spans run on the main domain: worker-domain
+          heap movement measures pool internals, not synthesis phases,
+          and would vary with task placement. *)
+}
+(** One timed phase in the span tree. *)
 
 val phase : string -> (unit -> 'a) -> 'a
 (** [phase name f] runs [f] and, when enabled, records a wall-clock span
-    around it (also on exceptions). Nesting and repetition are fine;
-    spans are logged in completion order. *)
+    around it (also on exceptions). Phases nest: a phase opened inside
+    another becomes its child in the span tree. Spans are logged in
+    completion order. *)
 
 (** {1 Export} *)
 
 type snapshot = {
   counters : (string * int) list;  (** In {!all_counters} order. *)
+  gauges : (string * int) list;  (** In {!all_gauges} order. *)
   histograms : (string * (int * int) list) list;
       (** [(bucket, value)] pairs sorted by bucket. *)
   spans : span list;  (** Completion order. *)
@@ -153,12 +247,23 @@ type snapshot = {
 val snapshot : unit -> snapshot
 (** Freeze the calling domain's active accumulator and the span log. *)
 
+val derived_rates : snapshot -> (string * float) list
+(** Cache-effectiveness percentages computed from the deterministic
+    sections (span/eval cache hit rates, memo fill rates, arena
+    occupancy), rounded to 0.01%. Rates whose denominator is zero are
+    omitted. *)
+
 val summary : snapshot -> string
-(** Human-readable table: counters, non-empty histograms, phase timings. *)
+(** Human-readable table: counters, gauges, derived hit/fill rates,
+    non-empty histograms, and the phase tree (indented by depth, with
+    per-phase GC columns when recorded). *)
 
 val trace_json : snapshot -> string
 (** Chrome trace-event JSON (load in [chrome://tracing] or Perfetto):
-    one ["X"] complete event per phase span, one ["C"] counter event,
+    one ["X"] complete event per phase span on its domain's [tid] lane
+    (with span id / parent / depth and GC delta in [args]), flow events
+    (["s"]/["f"]) linking cross-domain task spans to their submitting
+    coordinator span, ["C"] counter events for counters and gauges, and
     one ["I"] instant event per non-empty histogram. *)
 
 val write_trace : string -> snapshot -> unit

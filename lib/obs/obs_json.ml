@@ -290,6 +290,9 @@ let validate_trace s =
   match parse s with
   | Error _ as e -> e
   | Ok (Arr events) ->
+      let num key members =
+        match List.assoc_opt key members with Some (Num _) -> true | _ -> false
+      in
       let bad =
         List.find_map
           (fun e ->
@@ -298,7 +301,22 @@ let validate_trace s =
                 match
                   (List.assoc_opt "name" members, List.assoc_opt "ph" members)
                 with
-                | Some (Str _), Some (Str _) -> None
+                | Some (Str _), Some (Str ph) -> (
+                    (* Per-phase shape checks, per the trace-event spec:
+                       complete events carry numeric ts/dur; flow events
+                       (start/step/finish) carry a numeric binding id
+                       and a timestamp. *)
+                    match ph with
+                    | "X" ->
+                        if num "ts" members && num "dur" members then None
+                        else
+                          Some "\"X\" event lacks numeric \"ts\"/\"dur\""
+                    | "s" | "t" | "f" ->
+                        if num "id" members && num "ts" members then None
+                        else
+                          Some
+                            "flow event lacks numeric \"id\"/\"ts\" members"
+                    | _ -> None)
                 | _, _ -> Some "event lacks string \"name\"/\"ph\" members")
             | _ -> Some "trace array element is not an object")
           events

@@ -35,7 +35,9 @@ val parse : string -> (t, string) result
 val validate_trace : string -> (int, string) result
 (** Check that the input is a Chrome trace-event JSON array: a top-level
     array whose elements are objects each carrying string ["name"] and
-    ["ph"] members. Returns the event count. *)
+    ["ph"] members, where ["X"] complete events carry numeric ["ts"] and
+    ["dur"] and flow events (["s"]/["t"]/["f"]) carry a numeric ["id"]
+    and ["ts"]. Returns the event count. *)
 
 (** {1 Canonical writer} *)
 

@@ -1,0 +1,441 @@
+(* Canonical obs snapshot files. See obs_snapshot.mli for the schema
+   and determinism contracts. *)
+
+module J = Obs_json
+
+let schema_version = 1
+
+type gc = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+type rt_span = {
+  name : string;
+  id : int;
+  parent : int;
+  depth : int;
+  domain : int;
+  start_ms : float;
+  dur_ms : float;
+  gc : gc option;
+}
+
+type t = {
+  version : int;
+  label : string;
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * (int * int) list) list;
+  spans : rt_span list;
+}
+
+let round3 x = Float.round (x *. 1e3) /. 1e3
+
+(* ------------------------------------------------------------------ *)
+(* Capture                                                             *)
+
+let of_obs ?(label = "unnamed") ?(runtime = false) (snap : Obs.snapshot) =
+  let spans =
+    if not runtime then []
+    else begin
+      let t0 =
+        List.fold_left
+          (fun t (s : Obs.span) -> Float.min t s.Obs.t_start)
+          infinity snap.Obs.spans
+      in
+      List.map
+        (fun (s : Obs.span) ->
+          {
+            name = s.Obs.span_name;
+            id = s.Obs.span_id;
+            parent = s.Obs.parent_id;
+            depth = s.Obs.depth;
+            domain = s.Obs.domain;
+            start_ms = round3 ((s.Obs.t_start -. t0) *. 1e3);
+            dur_ms =
+              round3 (Float.max 0. (s.Obs.t_stop -. s.Obs.t_start) *. 1e3);
+            gc =
+              Option.map
+                (fun (g : Obs.gc_delta) ->
+                  {
+                    minor_words = g.Obs.minor_words;
+                    major_words = g.Obs.major_words;
+                    promoted_words = g.Obs.promoted_words;
+                    minor_collections = g.Obs.minor_collections;
+                    major_collections = g.Obs.major_collections;
+                  })
+                s.Obs.gc;
+          })
+        snap.Obs.spans
+    end
+  in
+  {
+    version = schema_version;
+    label;
+    counters = snap.Obs.counters;
+    gauges = snap.Obs.gauges;
+    histograms = snap.Obs.histograms;
+    spans;
+  }
+
+let derived_rates t =
+  Obs.derived_rates
+    { Obs.counters = t.counters; gauges = t.gauges; histograms = []; spans = [] }
+
+let metrics t =
+  List.map (fun (n, v) -> (n, float_of_int v)) t.counters
+  @ List.map (fun (n, v) -> ("gauge." ^ n, float_of_int v)) t.gauges
+  @ List.map
+      (fun (n, buckets) ->
+        ( "hist." ^ n ^ ".total",
+          float_of_int (List.fold_left (fun a (_, v) -> a + v) 0 buckets) ))
+      t.histograms
+  @ List.map (fun (n, p) -> ("rate." ^ n, p)) (derived_rates t)
+
+(* ------------------------------------------------------------------ *)
+(* Span-tree well-formedness                                           *)
+
+(* Wall-clock rounding noise: two spans that abut may overlap by up to
+   one rounding quantum on each edge. *)
+let overlap_eps_ms = 0.002
+
+let check_spans t =
+  let by_id = Hashtbl.create 64 in
+  let dup =
+    List.find_opt
+      (fun s ->
+        let seen = Hashtbl.mem by_id s.id in
+        Hashtbl.replace by_id s.id s;
+        seen)
+      t.spans
+  in
+  match dup with
+  | Some s -> Error (Printf.sprintf "duplicate span id %d (%s)" s.id s.name)
+  | None -> (
+      let bad =
+        List.find_map
+          (fun s ->
+            if s.parent < 0 then
+              if s.depth <> 0 then
+                Some
+                  (Printf.sprintf "root span %d (%s) has depth %d, want 0"
+                     s.id s.name s.depth)
+              else None
+            else
+              match Hashtbl.find_opt by_id s.parent with
+              | None ->
+                  Some
+                    (Printf.sprintf "span %d (%s) has orphan parent %d" s.id
+                       s.name s.parent)
+              | Some p ->
+                  if s.depth <> p.depth + 1 then
+                    Some
+                      (Printf.sprintf
+                         "span %d (%s) depth %d under parent depth %d" s.id
+                         s.name s.depth p.depth)
+                  else if
+                    s.start_ms +. overlap_eps_ms < p.start_ms
+                    || s.start_ms +. s.dur_ms
+                       > p.start_ms +. p.dur_ms +. overlap_eps_ms
+                  then
+                    Some
+                      (Printf.sprintf
+                         "span %d (%s) [%g..%g] escapes parent %d [%g..%g]"
+                         s.id s.name s.start_ms (s.start_ms +. s.dur_ms)
+                         p.id p.start_ms (p.start_ms +. p.dur_ms))
+                  else None)
+          t.spans
+      in
+      match bad with
+      | Some msg -> Error msg
+      | None ->
+          (* Siblings on one domain share that domain's open-span stack,
+             so they must be properly nested in time: sort each
+             (parent, domain) family by start and demand disjointness.
+             Cross-domain siblings (pool tasks of one job) legitimately
+             overlap — that is the parallelism. *)
+          let families = Hashtbl.create 16 in
+          List.iter
+            (fun s ->
+              let key = (s.parent, s.domain) in
+              let prev =
+                match Hashtbl.find_opt families key with
+                | Some l -> l
+                | None -> []
+              in
+              Hashtbl.replace families key (s :: prev))
+            t.spans;
+          let bad = ref None in
+          Hashtbl.iter
+            (fun _ sibs ->
+              if !bad = None then begin
+                let sorted =
+                  List.sort
+                    (fun a b -> Float.compare a.start_ms b.start_ms)
+                    sibs
+                in
+                let rec walk = function
+                  | a :: (b :: _ as tl) ->
+                      if b.start_ms +. overlap_eps_ms < a.start_ms +. a.dur_ms
+                      then
+                        bad :=
+                          Some
+                            (Printf.sprintf
+                               "sibling spans %d (%s) and %d (%s) overlap \
+                                on domain %d"
+                               a.id a.name b.id b.name a.domain)
+                      else walk tl
+                  | _ -> ()
+                in
+                walk sorted
+              end)
+            families;
+          (match !bad with Some msg -> Error msg | None -> Ok ()))
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+
+let to_json t =
+  let int x = J.Num (float_of_int x) in
+  let counts l = J.Obj (List.map (fun (n, v) -> (n, int v)) l) in
+  let base =
+    [
+      ("obs_version", int t.version);
+      ("label", J.Str t.label);
+      ("counters", counts t.counters);
+      ("gauges", counts t.gauges);
+      ( "histograms",
+        J.Obj
+          (List.map
+             (fun (n, buckets) ->
+               ( n,
+                 J.Obj
+                   (List.map
+                      (fun (k, v) -> (string_of_int k, int v))
+                      buckets) ))
+             t.histograms) );
+    ]
+  in
+  let runtime =
+    if t.spans = [] then []
+    else
+      [
+        ( "runtime",
+          J.Obj
+            [
+              ( "spans",
+                J.Arr
+                  (List.map
+                     (fun s ->
+                       J.Obj
+                         ([
+                            ("name", J.Str s.name);
+                            ("id", int s.id);
+                            ("parent", int s.parent);
+                            ("depth", int s.depth);
+                            ("domain", int s.domain);
+                            ("start_ms", J.Num s.start_ms);
+                            ("dur_ms", J.Num s.dur_ms);
+                          ]
+                         @
+                         match s.gc with
+                         | None -> []
+                         | Some g ->
+                             [
+                               ( "gc",
+                                 J.Obj
+                                   [
+                                     ("minor_words", J.Num g.minor_words);
+                                     ("major_words", J.Num g.major_words);
+                                     ( "promoted_words",
+                                       J.Num g.promoted_words );
+                                     ( "minor_collections",
+                                       int g.minor_collections );
+                                     ( "major_collections",
+                                       int g.major_collections );
+                                   ] );
+                             ]))
+                     t.spans) );
+            ] );
+      ]
+  in
+  J.Obj (base @ runtime)
+
+(* ------------------------------------------------------------------ *)
+(* Strict reader                                                       *)
+
+let ( let* ) = Result.bind
+let err path msg = Error (Printf.sprintf "%s: %s" path msg)
+
+let obj path = function
+  | J.Obj ms -> Ok ms
+  | _ -> err path "expected an object"
+
+let arr path = function
+  | J.Arr items -> Ok items
+  | _ -> err path "expected an array"
+
+let field path ms key =
+  match List.assoc_opt key ms with
+  | Some v -> Ok v
+  | None -> err (path ^ "." ^ key) "missing"
+
+let fnum path ms key =
+  let* v = field path ms key in
+  Result.map_error (Printf.sprintf "%s.%s: %s" path key) (J.to_float v)
+
+let fint path ms key =
+  let* v = field path ms key in
+  Result.map_error (Printf.sprintf "%s.%s: %s" path key) (J.to_int v)
+
+let fstr path ms key =
+  let* v = field path ms key in
+  Result.map_error (Printf.sprintf "%s.%s: %s" path key) (J.to_str v)
+
+let reject_unknown path ms allowed =
+  match List.find_opt (fun (k, _) -> not (List.mem k allowed)) ms with
+  | Some (k, _) -> err (path ^ "." ^ k) "unknown field (strict reader)"
+  | None -> Ok ()
+
+let list_fold path f items =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: tl ->
+        let* v = f (Printf.sprintf "%s[%d]" path i) x in
+        go (i + 1) (v :: acc) tl
+  in
+  go 0 [] items
+
+let read_counts path v =
+  let* ms = obj path v in
+  list_fold path
+    (fun p (n, v) ->
+      let* i =
+        Result.map_error (Printf.sprintf "%s(%s): %s" p n) (J.to_int v)
+      in
+      Ok (n, i))
+    ms
+
+let read_histograms path v =
+  let* ms = obj path v in
+  list_fold path
+    (fun p (n, v) ->
+      let hp = Printf.sprintf "%s(%s)" p n in
+      let* bms = obj hp v in
+      let* buckets =
+        list_fold hp
+          (fun bp (k, v) ->
+            let* bucket =
+              match int_of_string_opt k with
+              | Some b -> Ok b
+              | None -> err bp (Printf.sprintf "non-integer bucket key %S" k)
+            in
+            let* count =
+              Result.map_error
+                (Printf.sprintf "%s(%s): %s" bp k)
+                (J.to_int v)
+            in
+            Ok (bucket, count))
+          bms
+      in
+      Ok (n, buckets))
+    ms
+
+let read_gc path v =
+  let* ms = obj path v in
+  let* () =
+    reject_unknown path ms
+      [
+        "minor_words"; "major_words"; "promoted_words"; "minor_collections";
+        "major_collections";
+      ]
+  in
+  let* minor_words = fnum path ms "minor_words" in
+  let* major_words = fnum path ms "major_words" in
+  let* promoted_words = fnum path ms "promoted_words" in
+  let* minor_collections = fint path ms "minor_collections" in
+  let* major_collections = fint path ms "major_collections" in
+  Ok
+    {
+      minor_words;
+      major_words;
+      promoted_words;
+      minor_collections;
+      major_collections;
+    }
+
+let read_span path v =
+  let* ms = obj path v in
+  let* () =
+    reject_unknown path ms
+      [ "name"; "id"; "parent"; "depth"; "domain"; "start_ms"; "dur_ms"; "gc" ]
+  in
+  let* name = fstr path ms "name" in
+  let* id = fint path ms "id" in
+  let* parent = fint path ms "parent" in
+  let* depth = fint path ms "depth" in
+  let* domain = fint path ms "domain" in
+  let* start_ms = fnum path ms "start_ms" in
+  let* dur_ms = fnum path ms "dur_ms" in
+  let* gc =
+    match List.assoc_opt "gc" ms with
+    | None -> Ok None
+    | Some g -> Result.map Option.some (read_gc (path ^ ".gc") g)
+  in
+  Ok { name; id; parent; depth; domain; start_ms; dur_ms; gc }
+
+let of_json v =
+  let path = "obs" in
+  let* ms = obj path v in
+  let* () =
+    reject_unknown path ms
+      [ "obs_version"; "label"; "counters"; "gauges"; "histograms"; "runtime" ]
+  in
+  let* version = fint path ms "obs_version" in
+  if version < 1 || version > schema_version then
+    err (path ^ ".obs_version")
+      (Printf.sprintf "unsupported version %d (supported: 1..%d)" version
+         schema_version)
+  else
+    let* label = fstr path ms "label" in
+    let* counters_v = field path ms "counters" in
+    let* counters = read_counts (path ^ ".counters") counters_v in
+    let* gauges_v = field path ms "gauges" in
+    let* gauges = read_counts (path ^ ".gauges") gauges_v in
+    let* hists_v = field path ms "histograms" in
+    let* histograms = read_histograms (path ^ ".histograms") hists_v in
+    let* spans =
+      match List.assoc_opt "runtime" ms with
+      | None -> Ok []
+      | Some r ->
+          let rpath = path ^ ".runtime" in
+          let* rms = obj rpath r in
+          let* () = reject_unknown rpath rms [ "spans" ] in
+          let* spans_v = field rpath rms "spans" in
+          let* items = arr (rpath ^ ".spans") spans_v in
+          list_fold (rpath ^ ".spans") read_span items
+    in
+    Ok { version; label; counters; gauges; histograms; spans }
+
+(* ------------------------------------------------------------------ *)
+(* IO                                                                  *)
+
+let render t = J.to_string ~pretty:true (to_json t)
+let write_file path t = J.write_file path (to_json t)
+
+let load_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+      match J.parse contents with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok v -> Result.map_error (Printf.sprintf "%s: %s" path) (of_json v))

@@ -1,0 +1,94 @@
+(** Canonical, diffable obs snapshot files ([BENCH_obs.json], the
+    committed [bench/baselines/BENCH_obs_fast.json]) — the cost-side
+    counterpart of the {!Qor} quality snapshots.
+
+    {b Schema} ([obs_version] = {!schema_version}): a top-level object
+    with [obs_version], [label], the three deterministic sections
+    ([counters], [gauges], [histograms]) and an optional [runtime]
+    section holding the span tree with wall-clock times and GC deltas.
+    Serialization goes through the canonical {!Obs_json} writer, so
+    equal snapshots render byte-identically.
+
+    {b Determinism.} The counters/gauges/histograms sections depend only
+    on the input and configuration — never on [CTS_DOMAINS], task
+    placement or wall-clock — so two runs of the same synthesis at any
+    pool size serialize those sections byte-identically. Everything
+    nondeterministic (span ids, times, GC words) is confined to
+    [runtime], which {!of_obs} omits by default and which the CI gate
+    ([make obs-gate]) never records.
+
+    The reader is strict in the {!Qor.of_json} mold: unknown fields and
+    an [obs_version] newer than {!schema_version} are errors, so a
+    snapshot written by a future schema cannot be silently misread.
+
+    Domain-safety: pure functions over immutable values plus plain file
+    IO; safe from any domain. *)
+
+val schema_version : int
+(** Current [obs_version] (1). *)
+
+type gc = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+type rt_span = {
+  name : string;
+  id : int;
+  parent : int;  (** [-1] for roots. *)
+  depth : int;
+  domain : int;
+  start_ms : float;  (** Relative to the earliest span start; 3 decimals. *)
+  dur_ms : float;
+  gc : gc option;
+}
+
+type t = {
+  version : int;
+  label : string;
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * (int * int) list) list;
+  spans : rt_span list;  (** Empty when no runtime section. *)
+}
+
+val of_obs : ?label:string -> ?runtime:bool -> Obs.snapshot -> t
+(** Snapshot the deterministic sections; [runtime] (default [false])
+    additionally captures the span tree with times rebased to the
+    earliest span start and rounded to 3 decimals. *)
+
+val derived_rates : t -> (string * float) list
+(** {!Obs.derived_rates} over the snapshot's counters and gauges. *)
+
+val metrics : t -> (string * float) list
+(** Flatten to named scalars for {!Qor_compare.of_metrics}: counters
+    under their plain names, gauges as ["gauge.<name>"], histogram
+    totals as ["hist.<name>.total"], derived rates as
+    ["rate.<name>"]. *)
+
+val check_spans : t -> (unit, string) result
+(** Well-formedness of the runtime span tree: span ids unique, no
+    orphan parents, child depth = parent depth + 1 (roots at 0),
+    children contained in their parent's interval, and same-domain
+    siblings non-overlapping — cross-domain siblings (pool tasks) may
+    overlap freely. Timing checks allow a small rounding epsilon.
+    [Ok ()] on a snapshot with no runtime section. *)
+
+(** {1 Serialization} *)
+
+val to_json : t -> Obs_json.t
+
+val of_json : Obs_json.t -> (t, string) result
+(** Strict: unknown fields and unsupported [obs_version] are errors. *)
+
+val render : t -> string
+(** Canonical pretty-printed JSON (the byte-identity surface). *)
+
+val write_file : string -> t -> unit
+
+val load_file : string -> (t, string) result
+(** Read and strictly parse; [Error] carries the path and covers
+    missing/unreadable files, malformed JSON and schema violations. *)

@@ -187,7 +187,10 @@ let with_pool ?size f =
    same replay-in-order discipline Cts.synthesize uses for its merge
    logs — so counter totals are identical at every pool size. On the
    sequential fast path tasks increment the caller's accumulator
-   directly, which yields the same totals. *)
+   directly, which yields the same totals. The submission context
+   captured here parents each task's trace span under the caller's
+   open phase, so the Chrome trace shows which coordinator phase
+   spawned which pool tasks. *)
 let map pool f arr =
   check_live "Parallel.map" pool;
   let n = Array.length arr in
@@ -197,14 +200,15 @@ let map pool f arr =
     let results = Array.make n None in
     let deltas = Array.make n Obs.no_delta in
     let error = Atomic.make None in
+    let ctx = Obs.task_context () in
     let run i =
-      let entered = Obs.task_enter () in
+      let token = Obs.task_enter ~ctx () in
       (match f arr.(i) with
       | v -> results.(i) <- Some v
       | exception e ->
           let bt = Printexc.get_raw_backtrace () in
           ignore (Atomic.compare_and_set error None (Some (e, bt))));
-      deltas.(i) <- Obs.task_leave entered
+      deltas.(i) <- Obs.task_leave token
     in
     run_job pool { run; n; next = Atomic.make 0; completed = Atomic.make 0 };
     Array.iter Obs.task_absorb deltas;
