@@ -78,10 +78,11 @@ obs-baseline:
 	cp BENCH_obs.json bench/baselines/BENCH_obs_fast.json
 	@echo "baseline refreshed: bench/baselines/BENCH_obs_fast.json"
 
-# All three lint passes: determinism / domain-safety rules (L1-L5),
-# the physical-units checker (U1-U4) and the concurrency-effect race
-# analyzer (C1-C5); see DESIGN.md sections 5e/5f/5h. This one target
-# is the local pre-commit story.
+# All four lint passes: determinism / domain-safety rules (L1-L5),
+# the physical-units checker (U1-U4), the concurrency-effect race
+# analyzer (C1-C5) and the exception-flow / resource-safety analyzer
+# (E1-E5); see DESIGN.md sections 5e/5f/5h/5k. This one target is the
+# local pre-commit story.
 lint:
 	dune build @lint
 
@@ -98,6 +99,14 @@ lint-race:
 	dune build bin/cts_lint.exe
 	dune exec --no-build bin/cts_lint.exe -- --only-race \
 	  --json race_report.json lib bin
+
+# Exception-flow analyzer alone (E1-E5): verifies every [@cts.raises]
+# contract instead of trusting it, and checks task closures, resource
+# brackets and catch-alls. CI uploads the JSON report as an artifact.
+lint-exc:
+	dune build bin/cts_lint.exe
+	dune exec --no-build bin/cts_lint.exe -- --only-exc \
+	  --json exc_report.json lib bin
 
 # Smoke-check the seeded lint fixtures: each must still trigger its
 # rule, or the fixture (and the test pinned to it) has rotted.
@@ -117,7 +126,14 @@ lint-fixtures:
 	  grep -q "\"rule\": \"$$r\"" race_fixtures.json \
 	    || { echo "lint-fixtures: rule $$r did not fire"; exit 1; }; \
 	done
-	@echo "lint-fixtures: all seeded fixtures fire (U1-U4, C1-C5)"
+	@if dune exec --no-build bin/cts_lint.exe -- --only-exc \
+	  --json exc_fixtures.json test/fixtures/lint/exc > /dev/null; then \
+	  echo "lint-fixtures: expected exc diagnostics, got none"; exit 1; fi
+	@for r in E1 E2 E3 E4 E5; do \
+	  grep -q "\"rule\": \"$$r\"" exc_fixtures.json \
+	    || { echo "lint-fixtures: rule $$r did not fire"; exit 1; }; \
+	done
+	@echo "lint-fixtures: all seeded fixtures fire (U1-U4, C1-C5, E1-E5)"
 
 # Observability smoke test: synthesize a small synthetic benchmark with
 # --stats and --trace, then validate the emitted Chrome trace JSON
@@ -140,9 +156,9 @@ examples:
 # smoke reports, the cached characterization text and the smoke trace.
 # Committed baselines under bench/baselines/ are untouched.
 clean-artifacts:
-	rm -f lint_report.json race_report.json lint_fixtures.json \
-	  race_fixtures.json BENCH_*.json test_delaylib_fast.txt \
-	  trace_smoke.json
+	rm -f lint_report.json race_report.json exc_report.json \
+	  lint_fixtures.json race_fixtures.json exc_fixtures.json \
+	  BENCH_*.json test_delaylib_fast.txt trace_smoke.json
 
 clean: clean-artifacts
 	dune clean
@@ -150,4 +166,5 @@ clean: clean-artifacts
 .PHONY: all test test-par bench bench-full bench-par bench-smoke \
         qor-gate qor-baseline qor-gate-dp qor-baseline-dp \
         obs-gate obs-baseline lint lint-units \
-        lint-race lint-fixtures trace-smoke examples clean clean-artifacts
+        lint-race lint-exc lint-fixtures trace-smoke examples \
+        clean clean-artifacts

@@ -1,19 +1,31 @@
-(* Determinism / domain-safety / units / race lint driver.
+(* Determinism / domain-safety / units / race / exception lint driver.
 
    Usage: cts_lint [--units] [--only-units] [--race] [--only-race]
-                   [--json FILE] [DIR-OR-FILE ...]
+                   [--exc] [--only-exc] [--raises-table] [--json FILE]
+                   [DIR-OR-FILE ...]
    (default paths: lib bin)
 
-   --units       run the physical-units checker (U1-U4) in addition to
-                 the determinism rules (L1-L5)
-   --only-units  run only the units checker
-   --race        run the concurrency-effect race analyzer (C1-C5) in
-                 addition to the determinism rules
-   --only-race   run only the race analyzer
-   --json FILE   additionally write the diagnostics as canonical JSON
-                 (Obs_json writer, stable (file,line,col,rule) order);
-                 FILE may be "-" for stdout; the human-readable report
-                 still goes to stdout
+   --units        run the physical-units checker (U1-U4) in addition to
+                  the determinism rules (L1-L5)
+   --only-units   run only the units checker
+   --race         run the concurrency-effect race analyzer (C1-C5) in
+                  addition to the determinism rules
+   --only-race    run only the race analyzer
+   --exc          run the exception-flow analyzer (E1-E5) in addition
+                  to the determinism rules
+   --only-exc     run only the exception-flow analyzer
+   --raises-table print the inferred may-raise effect table
+                  ("Module.name: Exn1,Exn2" per line) and exit 0 —
+                  the source of truth for [@cts.raises] contracts
+   --json FILE    additionally write the diagnostics as canonical JSON
+                  (Obs_json writer, stable (file,line,col,rule) order);
+                  FILE may be "-" for stdout; the human-readable report
+                  still goes to stdout
+
+   Whenever the race analyzer runs, the exception analyzer's inferred
+   effect table is computed and shared with it, so C4 can flag
+   lock-holding calls to may-raise callees — the two passes use one
+   blocking/raising effect table instead of re-walking.
 
    Exits 1 if any diagnostic is reported, 0 otherwise, 2 on usage
    errors, an unwritable --json path, or nothing to lint. Run from the
@@ -24,8 +36,8 @@
 
 let usage () =
   prerr_endline
-    "usage: cts_lint [--units] [--only-units] [--race] [--only-race] [--json \
-     FILE] [DIR-OR-FILE ...]";
+    "usage: cts_lint [--units] [--only-units] [--race] [--only-race] [--exc] \
+     [--only-exc] [--raises-table] [--json FILE] [DIR-OR-FILE ...]";
   exit 2
 
 let () =
@@ -33,6 +45,9 @@ let () =
   let only_units = ref false in
   let race = ref false in
   let only_race = ref false in
+  let exc = ref false in
+  let only_exc = ref false in
+  let raises_table = ref false in
   let json_out = ref None in
   let paths = ref [] in
   let rec parse_args = function
@@ -48,6 +63,15 @@ let () =
         parse_args rest
     | "--only-race" :: rest ->
         only_race := true;
+        parse_args rest
+    | "--exc" :: rest ->
+        exc := true;
+        parse_args rest
+    | "--only-exc" :: rest ->
+        only_exc := true;
+        parse_args rest
+    | "--raises-table" :: rest ->
+        raises_table := true;
         parse_args rest
     | "--json" :: file :: rest ->
         json_out := Some file;
@@ -74,12 +98,43 @@ let () =
   let ml_count =
     List.length (List.filter (fun f -> Filename.check_suffix f ".ml") files)
   in
-  let base = not (!only_units || !only_race) in
+  let base = not (!only_units || !only_race || !only_exc) in
+  let want_race = !race || !only_race in
+  let want_exc = !exc || !only_exc in
+  (* One analysis feeds both the E-rules and the race analyzer's
+     raise-aware C4. *)
+  let exc_result =
+    if want_race || want_exc || !raises_table then
+      Some (Exc.analyze_paths files)
+    else None
+  in
+  if !raises_table then begin
+    (match exc_result with
+    | Some r ->
+        List.iter
+          (fun ((m, n), exns) ->
+            Printf.printf "%s.%s: %s\n" m n (String.concat "," exns))
+          r.Exc.raises
+    | None -> ());
+    exit 0
+  end;
   let diags =
     let l = if base then Lint.lint_paths files else [] in
     let u = if !units || !only_units then Units.check_paths files else [] in
-    let c = if !race || !only_race then Race.check_paths files else [] in
-    Lint.sort_diagnostics (l @ u @ c)
+    let c =
+      if want_race then
+        let raises =
+          match exc_result with Some r -> r.Exc.raises | None -> []
+        in
+        Race.check_paths ~raises files
+      else []
+    in
+    let e =
+      if want_exc then
+        match exc_result with Some r -> r.Exc.diagnostics | None -> []
+      else []
+    in
+    Lint.sort_diagnostics (l @ u @ c @ e)
   in
   (match !json_out with
   | None -> ()

@@ -16,10 +16,12 @@
 type metadata = { unit_res : float option; unit_cap : float option }
 
 val parse : string -> Sinks.spec list * metadata
+  [@@cts.raises "Failure"]
 (** Parse file contents (not a path). Raises [Failure] with a line number
     on malformed input. *)
 
 val parse_file : string -> Sinks.spec list * metadata
+  [@@cts.raises "End_of_file,Failure,Sys_error"]
 
 val render : ?unit_res:float -> ?unit_cap:float -> Sinks.spec list -> string
 val write_file :

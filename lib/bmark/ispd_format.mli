@@ -31,9 +31,11 @@ type t = {
 }
 
 val parse : string -> t
+  [@@cts.raises "Failure,Invalid_argument"]
 (** Raises [Failure] with a line number on malformed input. *)
 
 val parse_file : string -> t
+  [@@cts.raises "End_of_file,Failure,Invalid_argument,Sys_error"]
 val render : t -> string
 val write_file : t -> string -> unit
 

@@ -13,13 +13,15 @@ type t = {
 }
 
 val make : name:string -> size:float -> t
+  [@@cts.raises "Invalid_argument"]
 (** Buffer with the conventional 1:4 stage ratio ([stage1 = size / 4],
     floored at 1X). *)
 
-val default_library : t list
+val default_library : t list [@@cts.raises "Invalid_argument"]
 (** The 3-buffer library of the experiments: 10X, 20X, 30X. *)
 
 val by_name : t list -> string -> t
+  [@@cts.raises "Invalid_argument"]
 (** Lookup by cell name; raises [Invalid_argument] naming the missing
     cell and the library's cells (a bare [Not_found] told the caller
     nothing about which lookup failed). *)
@@ -29,9 +31,14 @@ val area_x : t -> float
     size. *)
 
 val smallest : t list -> t
-(** Lowest-drive buffer of a non-empty library. *)
+  [@@cts.raises "Invalid_argument"]
+(** Lowest-drive buffer of a non-empty library; raises
+    [Invalid_argument] on an empty one. *)
 
 val largest : t list -> t
+  [@@cts.raises "Invalid_argument"]
+(** Highest-drive buffer of a non-empty library; raises
+    [Invalid_argument] on an empty one. *)
 
 val input_cap : Tech.t -> t -> float
 (** Gate capacitance presented at the buffer input (stage-1 gate). *)

@@ -95,6 +95,7 @@ val structure : ?canonical_ids:bool -> Ctree.t -> violation list
 
 val timing :
   env -> Ctree.t -> violation list * (string * (float[@cts.unit "ps"])) list
+  [@@cts.raises "Invalid_argument"]
 (** Stage-by-stage electrical walk: returns slew/input-range violations
     and the computed absolute sink latencies (offsets not applied). A
     [Merge]-rooted region is driven by [env.default_driver]. *)
@@ -107,6 +108,7 @@ val verify :
   env ->
   Ctree.t ->
   violation list
+  [@@cts.raises "Invalid_argument"]
 (** The full check: {!structure} plus {!timing} plus — when
     [expected_latencies] is given — comparison of every sink's computed
     latency against the reference within [tol] (default [1e-12] s).
@@ -123,4 +125,5 @@ val verify_exn :
   env ->
   Ctree.t ->
   unit
+  [@@cts.raises "Check_failed,Invalid_argument"]
 (** Raises {!Check_failed} with the (non-empty) violation list. *)

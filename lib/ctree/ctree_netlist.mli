@@ -8,6 +8,7 @@
 
 val to_deck :
   ?source_slew:float -> ?t_stop:(float[@cts.unit "ps"]) -> Circuit.Tech.t -> Ctree.t -> string
+  [@@cts.raises "Invalid_argument"]
 (** Render the tree. Wire segments between recorded route points are
     emitted individually. Raises [Invalid_argument] if the root is not a
     buffer. *)
@@ -15,3 +16,4 @@ val to_deck :
 val write_file :
   ?source_slew:float -> ?t_stop:(float[@cts.unit "ps"]) -> Circuit.Tech.t -> Ctree.t ->
   string -> unit
+  [@@cts.raises "Invalid_argument,Sys_error"]

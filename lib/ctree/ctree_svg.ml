@@ -75,6 +75,9 @@ let render ?(width_px = 900) ?(blockages = []) (root : Ctree.t) =
   Buffer.contents b
 
 let write_file ?width_px ?blockages root path =
+  (* Render before opening: a render failure (e.g. an empty tree with
+     no bounding box) must not leave a truncated file behind. *)
+  let svg = render ?width_px ?blockages root in
   let oc = open_out path in
-  output_string oc (render ?width_px ?blockages root);
+  output_string oc svg;
   close_out oc

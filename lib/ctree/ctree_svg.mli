@@ -9,6 +9,7 @@
 
 val render :
   ?width_px:int -> ?blockages:Geometry.Bbox.t list -> Ctree.t -> string
+  [@@cts.raises "Invalid_argument"]
 (** Render to an SVG document string. The viewport is fitted to the
     tree's bounding box with a small margin. [blockages] are drawn as
     hatched grey rectangles under the tree. *)
@@ -16,3 +17,4 @@ val render :
 val write_file :
   ?width_px:int -> ?blockages:Geometry.Bbox.t list -> Ctree.t -> string ->
   unit
+  [@@cts.raises "Invalid_argument,Sys_error"]

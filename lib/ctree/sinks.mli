@@ -5,9 +5,14 @@
 type spec = { name : string; pos : Geometry.Point.t; cap : float }
 
 val centroid : spec list -> Geometry.Point.t
-(** Centroid of the sink positions (non-empty list). *)
+  [@@cts.raises "Invalid_argument"]
+(** Centroid of the sink positions; raises [Invalid_argument] on an
+    empty list. *)
 
 val bbox : spec list -> Geometry.Bbox.t
+  [@@cts.raises "Invalid_argument"]
+(** Tight box around the sink positions; raises [Invalid_argument] on
+    an empty list. *)
 
 val validate : spec list -> string list
 (** Violations: duplicate names, non-positive capacitance, empty list. *)

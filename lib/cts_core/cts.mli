@@ -27,6 +27,7 @@ type result = {
 val synthesize :
   ?config:Cts_config.t -> ?blockages:Blockage.t -> ?pool:Parallel.t ->
   ?check:bool -> Delaylib.t -> Sinks.spec list -> result
+  [@@cts.raises "Check_failed,Invalid_argument"]
 (** Synthesize a buffered clock tree over the given sinks. The default
     configuration is {!Cts_config.default} on the delay library.
     [blockages] are macro regions buffers must avoid (wires may cross
@@ -49,6 +50,7 @@ val synthesize :
 val synthesize_bisection :
   ?config:Cts_config.t -> ?blockages:Blockage.t -> ?pool:Parallel.t ->
   ?check:bool -> Delaylib.t -> Sinks.spec list -> result
+  [@@cts.raises "Check_failed,Invalid_argument"]
 (** Fixed-topology variant (the paper's complexity analysis notes the
     flow drops to O(n l^2) when the topology is given): the merge order
     comes from recursive median bisection of the sink set along the

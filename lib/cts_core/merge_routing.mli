@@ -27,6 +27,7 @@ type stats = {
 val merge :
   ?blockages:Blockage.t -> Delaylib.t -> Cts_config.t -> Port.t -> Port.t ->
   Port.t * stats
+  [@@cts.raises "Invalid_argument"]
 (** Merge two subtrees into one, returning the merged port (rooted at a
     {!Ctree.Merge} node, or at a {!Ctree.Buf} when the merge-node stub
     guard planted a buffer on [M]). With [blockages], buffers planted

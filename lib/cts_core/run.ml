@@ -151,41 +151,47 @@ let cell_index lay ~classes ~si ~ni ~cls =
    released. *)
 let[@cts.guarded "mutex:span_mutex"] span_fill dl (cfg : Cts_config.t) ~drive
     ~load_cap cell =
-  Mutex.lock span_mutex;
-  let rec settle () =
-    match Atomic.get cell.sc_state with
-    | 2 ->
-        Mutex.unlock span_mutex;
-        Obs.incr Obs.Span_cache_hits;
-        cell.sc_value
-    | 1 ->
-        Condition.wait span_cond span_mutex;
-        settle ()
-    | _ ->
-        Atomic.set cell.sc_state 1;
-        Mutex.unlock span_mutex;
-        Obs.incr Obs.Span_cache_misses;
-        let v =
-          try
-            Delaylib.max_length_for_slew dl ~drive ~load_cap
-              ~input_slew:cfg.slew_target ~slew_limit:cfg.slew_target
-          with e ->
-            (* Roll back so the key stays computable (and the next
-               attempt pays a fresh miss, as the old table did). *)
-            Mutex.lock span_mutex;
-            Atomic.set cell.sc_state 0;
-            Condition.broadcast span_cond;
-            Mutex.unlock span_mutex;
-            raise e
+  (* Claim or wait under the lock, compute with it released. Every
+     critical section is a [Mutex.protect] so a raise anywhere (the
+     delay model rejects infeasible coordinates) cannot leak the
+     lock. *)
+  let outcome =
+    Mutex.protect span_mutex (fun () ->
+        let rec wait () =
+          match Atomic.get cell.sc_state with
+          | 2 -> `Hit cell.sc_value
+          | 1 ->
+              Condition.wait span_cond span_mutex;
+              wait ()
+          | _ ->
+              Atomic.set cell.sc_state 1;
+              `Claimed
         in
-        Mutex.lock span_mutex;
-        cell.sc_value <- v;
-        Atomic.set cell.sc_state 2;
-        Condition.broadcast span_cond;
-        Mutex.unlock span_mutex;
-        v
+        wait ())
   in
-  settle ()
+  match outcome with
+  | `Hit v ->
+      Obs.incr Obs.Span_cache_hits;
+      v
+  | `Claimed ->
+      Obs.incr Obs.Span_cache_misses;
+      let v =
+        try
+          Delaylib.max_length_for_slew dl ~drive ~load_cap
+            ~input_slew:cfg.slew_target ~slew_limit:cfg.slew_target
+        with e ->
+          (* Roll back so the key stays computable (and the next
+             attempt pays a fresh miss, as the old table did). *)
+          Mutex.protect span_mutex (fun () ->
+              Atomic.set cell.sc_state 0;
+              Condition.broadcast span_cond);
+          raise e
+      in
+      Mutex.protect span_mutex (fun () ->
+          cell.sc_value <- v;
+          Atomic.set cell.sc_state 2;
+          Condition.broadcast span_cond);
+      v
 
 let span_slow dl cfg ~drive ~load_cap ~cls arena =
   (* The layout lacks this (slew, name) coordinate: grow it under the
@@ -700,7 +706,11 @@ let eval_dp ?positions ?(place = fun ~cur:_ d -> Some d) dl
           if j < 0 then acc else rebuild j t' acc
     in
     let buffers = rebuild ri rt [] in
-    let st = Option.get (best_get ri rt) in
+    (* [feasible] implies the DP sweep filled the root cell — rebuild
+       above already walked it. *)
+    let st =
+      match best_get ri rt with Some st -> st | None -> assert false
+    in
     {
       delay_below = st.s_delay;
       buffers;

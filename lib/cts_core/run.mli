@@ -45,6 +45,7 @@ type eval = {
 val span :
   Delaylib.t -> Cts_config.t -> drive:Circuit.Buffer_lib.t ->
   load_cap:float -> (float[@cts.unit "um"])
+  [@@cts.raises "Invalid_argument"]
 (** Memoized longest wire [drive] can put in front of a load of the given
     class while meeting the slew target under the target input-slew
     assumption.
@@ -83,6 +84,7 @@ val eval :
   ?place:(cur:(float[@cts.unit "um"]) -> (float[@cts.unit "um"]) ->
           (float[@cts.unit "um"]) option) ->
   Delaylib.t -> Cts_config.t -> Port.t -> (float[@cts.unit "um"]) -> eval
+  [@@cts.raises "Invalid_argument"]
 (** [eval dl cfg port length] analyzes a run of [length] um with the
     engine selected by [cfg.insertion].
 
@@ -107,6 +109,7 @@ val eval_greedy :
   ?place:(cur:(float[@cts.unit "um"]) -> (float[@cts.unit "um"]) ->
           (float[@cts.unit "um"]) option) ->
   Delaylib.t -> Cts_config.t -> Port.t -> (float[@cts.unit "um"]) -> eval
+  [@@cts.raises "Invalid_argument"]
 (** The slew-driven greedy engine (see {!eval} for the [place]
     contract), regardless of [cfg.insertion]. *)
 
@@ -115,6 +118,7 @@ val eval_dp :
   ?place:(cur:(float[@cts.unit "um"]) -> (float[@cts.unit "um"]) ->
           (float[@cts.unit "um"]) option) ->
   Delaylib.t -> Cts_config.t -> Port.t -> (float[@cts.unit "um"]) -> eval
+  [@@cts.raises "Invalid_argument"]
 (** The candidate-set DP engine, regardless of [cfg.insertion].
 
     Candidate buffer positions default to a uniform [cfg.dp_grid]-slot

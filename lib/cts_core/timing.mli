@@ -31,6 +31,7 @@ val mid_delay : report -> float
 val analyze_driven :
   Delaylib.t -> Cts_config.t -> drive:Circuit.Buffer_lib.t ->
   input_slew:float -> Ctree.t -> report
+  [@@cts.raises "Invalid_argument"]
 (** [analyze_driven dl cfg ~drive ~input_slew region] analyzes the tree
     whose root region is driven by a buffer of type [drive] placed at the
     region root with the given input slew. The region root must not be a
@@ -39,12 +40,14 @@ val analyze_driven :
 
 val analyze_tree :
   Delaylib.t -> Cts_config.t -> ?source_slew:float -> Ctree.t -> report
+  [@@cts.raises "Invalid_argument"]
 (** Analyze a complete tree whose root is the source driver buffer. *)
 
 val analyze_stage :
   Delaylib.t -> Cts_config.t -> drive:Circuit.Buffer_lib.t ->
   input_slew:float -> Ctree.t ->
   (Ctree.t * (float[@cts.unit "ps"]) * (float[@cts.unit "ps"])) list
+  [@@cts.raises "Invalid_argument"]
 (** Endpoints [(node, delay, slew)] of the single buffer stage rooted at
     the given region: each first buffer or sink below the root, with its
     delay from the driver input and the slew presented at it. This is
@@ -55,6 +58,7 @@ val analyze_stage :
 val stage_worst_slew :
   Delaylib.t -> Cts_config.t -> drive:Circuit.Buffer_lib.t ->
   input_slew:float -> Ctree.t -> float
+  [@@cts.raises "Invalid_argument"]
 (** Worst endpoint slew of the single stage rooted at the given region
     (down to the first buffers/sinks only) — the branch-aware slew check
     merge-routing uses to decide whether a merge node needs its own

@@ -294,11 +294,14 @@ let characterize ?(profile = Accurate) ?pool tech buffers =
     buffers;
     classes;
     branch_classes;
-    slew_lo = List.hd slews;
+    (* The sweep lists are non-empty literals sorted ascending; fold
+       for the bounds rather than trusting the ordering with a partial
+       List.hd. *)
+    slew_lo = List.fold_left Float.min Float.infinity slews;
     slew_hi = List.fold_left Float.max 0. slews;
-    len_lo = List.hd lens;
+    len_lo = List.fold_left Float.min Float.infinity lens;
     len_hi = List.fold_left Float.max 0. lens;
-    blen_lo = List.hd blens;
+    blen_lo = List.fold_left Float.min Float.infinity blens;
     blen_hi = List.fold_left Float.max 0. blens;
     singles;
     branches;
@@ -468,152 +471,156 @@ let save t path =
 
 let load path =
   let ic = open_in path in
-  let next () = try Some (input_line ic) with End_of_file -> None in
-  let fail msg =
-    close_in_noerr ic;
-    failwith ("Delaylib.load: " ^ msg)
-  in
-  let expect_prefix prefix line =
-    if not (String.length line >= String.length prefix
-            && String.sub line 0 (String.length prefix) = prefix)
-    then fail (Printf.sprintf "expected %S, got %S" prefix line)
-  in
-  let surface_line kind =
-    match next () with
-    | Some line ->
-        expect_prefix (kind ^ " ") line;
-        String.sub line 2 (String.length line - 2)
-    | None -> fail "unexpected EOF in surface"
-  in
-  (match next () with
-  | Some "delaylib v1" -> ()
-  | _ -> fail "bad magic");
-  let tech =
-    match next () with
-    | Some line -> (
-        match String.split_on_char ' ' line with
-        | "tech" :: rest -> (
-            match List.map float_of_string rest with
-            | [ vdd; vt; alpha; vdsat_frac; k; gc; dc; ur; uc ] ->
-                {
-                  Tech.vdd;
-                  vt;
-                  alpha;
-                  vdsat_frac;
-                  k_per_x = k;
-                  gate_cap_per_x = gc;
-                  drain_cap_per_x = dc;
-                  unit_res = ur;
-                  unit_cap = uc;
-                }
-            | _ -> fail "tech arity")
-        | _ -> fail "expected tech")
-    | None -> fail "EOF"
-  in
-  let n_buffers =
-    match next () with
-    | Some line -> (
-        match String.split_on_char ' ' line with
-        | [ "buffers"; n ] -> int_of_string n
-        | _ -> fail "expected buffers")
-    | None -> fail "EOF"
-  in
-  let buffers =
-    List.init n_buffers (fun _ ->
+  (* Parse failures raise Failure / Invalid_argument; ~finally keeps
+     the channel closed on every unwind path. *)
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let next () = try Some (input_line ic) with End_of_file -> None in
+      let fail msg = failwith ("Delaylib.load: " ^ msg) in
+      let expect_prefix prefix line =
+        if not (String.length line >= String.length prefix
+                && String.sub line 0 (String.length prefix) = prefix)
+        then fail (Printf.sprintf "expected %S, got %S" prefix line)
+      in
+      let surface_line kind =
+        match next () with
+        | Some line ->
+            expect_prefix (kind ^ " ") line;
+            String.sub line 2 (String.length line - 2)
+        | None -> fail "unexpected EOF in surface"
+      in
+      (match next () with
+      | Some "delaylib v1" -> ()
+      | _ -> fail "bad magic");
+      let tech =
         match next () with
         | Some line -> (
             match String.split_on_char ' ' line with
-            | [ "buffer"; name; size ] ->
-                Buffer_lib.make ~name ~size:(float_of_string size)
-            | _ -> fail "expected buffer")
-        | None -> fail "EOF")
-  in
-  let classes =
-    match next () with
-    | Some line -> (
-        match String.split_on_char ' ' line with
-        | "classes" :: rest ->
-            Array.of_list (List.map float_of_string rest)
-        | _ -> fail "expected classes")
-    | None -> fail "EOF"
-  in
-  let branch_classes =
-    match next () with
-    | Some line -> (
-        match String.split_on_char ' ' line with
-        | "branch_classes" :: rest ->
-            Array.of_list (List.map int_of_string rest)
-        | _ -> fail "expected branch_classes")
-    | None -> fail "EOF"
-  in
-  let slew_lo, slew_hi, len_lo, len_hi, blen_lo, blen_hi =
-    match next () with
-    | Some line -> (
-        match String.split_on_char ' ' line with
-        | [ "domains"; a; b; c; d; e; f ] ->
-            ( float_of_string a,
-              float_of_string b,
-              float_of_string c,
-              float_of_string d,
-              float_of_string e,
-              float_of_string f )
-        | _ -> fail "expected domains")
-    | None -> fail "EOF"
-  in
-  let singles = Hashtbl.create 16 in
-  let branches = Hashtbl.create 16 in
-  let residuals = ref [] in
-  let rec loop () =
-    match next () with
-    | None -> fail "missing end marker"
-    | Some "end" -> ()
-    | Some line ->
-        (match String.split_on_char ' ' line with
-        | [ "single"; name; ci ] ->
-            (* Field evaluation order in record literals is unspecified;
-               read the lines in explicit sequence. *)
-            let buf_delay_fit = Polyfit.surface2_of_string (surface_line "S") in
-            let wire_delay_fit = Polyfit.surface2_of_string (surface_line "S") in
-            let wire_slew_fit = Polyfit.surface2_of_string (surface_line "S") in
-            Hashtbl.replace singles
-              (name, int_of_string ci)
-              { buf_delay_fit; wire_delay_fit; wire_slew_fit }
-        | [ "branch"; name; cl; cr ] ->
-            let delay_left_fit = Polyfit.surface3_of_string (surface_line "T") in
-            let delay_right_fit = Polyfit.surface3_of_string (surface_line "T") in
-            let slew_left_fit = Polyfit.surface3_of_string (surface_line "T") in
-            let slew_right_fit = Polyfit.surface3_of_string (surface_line "T") in
-            Hashtbl.replace branches
-              (name, int_of_string cl, int_of_string cr)
-              { delay_left_fit; delay_right_fit; slew_left_fit; slew_right_fit }
-        | "residual" :: label :: rms :: worst :: [] ->
-            residuals :=
-              (label, float_of_string rms, float_of_string worst) :: !residuals
-        | _ -> fail ("unrecognized line: " ^ line));
-        loop ()
-  in
-  loop ();
-  close_in ic;
-  {
-    tech;
-    buffers;
-    classes;
-    branch_classes;
-    slew_lo;
-    slew_hi;
-    len_lo;
-    len_hi;
-    blen_lo;
-    blen_hi;
-    singles;
-    branches;
-    residuals = List.rev !residuals;
-  }
+            | "tech" :: rest -> (
+                match List.map float_of_string rest with
+                | [ vdd; vt; alpha; vdsat_frac; k; gc; dc; ur; uc ] ->
+                    {
+                      Tech.vdd;
+                      vt;
+                      alpha;
+                      vdsat_frac;
+                      k_per_x = k;
+                      gate_cap_per_x = gc;
+                      drain_cap_per_x = dc;
+                      unit_res = ur;
+                      unit_cap = uc;
+                    }
+                | _ -> fail "tech arity")
+            | _ -> fail "expected tech")
+        | None -> fail "EOF"
+      in
+      let n_buffers =
+        match next () with
+        | Some line -> (
+            match String.split_on_char ' ' line with
+            | [ "buffers"; n ] -> int_of_string n
+            | _ -> fail "expected buffers")
+        | None -> fail "EOF"
+      in
+      let buffers =
+        List.init n_buffers (fun _ ->
+            match next () with
+            | Some line -> (
+                match String.split_on_char ' ' line with
+                | [ "buffer"; name; size ] ->
+                    Buffer_lib.make ~name ~size:(float_of_string size)
+                | _ -> fail "expected buffer")
+            | None -> fail "EOF")
+      in
+      let classes =
+        match next () with
+        | Some line -> (
+            match String.split_on_char ' ' line with
+            | "classes" :: rest ->
+                Array.of_list (List.map float_of_string rest)
+            | _ -> fail "expected classes")
+        | None -> fail "EOF"
+      in
+      let branch_classes =
+        match next () with
+        | Some line -> (
+            match String.split_on_char ' ' line with
+            | "branch_classes" :: rest ->
+                Array.of_list (List.map int_of_string rest)
+            | _ -> fail "expected branch_classes")
+        | None -> fail "EOF"
+      in
+      let slew_lo, slew_hi, len_lo, len_hi, blen_lo, blen_hi =
+        match next () with
+        | Some line -> (
+            match String.split_on_char ' ' line with
+            | [ "domains"; a; b; c; d; e; f ] ->
+                ( float_of_string a,
+                  float_of_string b,
+                  float_of_string c,
+                  float_of_string d,
+                  float_of_string e,
+                  float_of_string f )
+            | _ -> fail "expected domains")
+        | None -> fail "EOF"
+      in
+      let singles = Hashtbl.create 16 in
+      let branches = Hashtbl.create 16 in
+      let residuals = ref [] in
+      let rec loop () =
+        match next () with
+        | None -> fail "missing end marker"
+        | Some "end" -> ()
+        | Some line ->
+            (match String.split_on_char ' ' line with
+            | [ "single"; name; ci ] ->
+                (* Field evaluation order in record literals is unspecified;
+                   read the lines in explicit sequence. *)
+                let buf_delay_fit = Polyfit.surface2_of_string (surface_line "S") in
+                let wire_delay_fit = Polyfit.surface2_of_string (surface_line "S") in
+                let wire_slew_fit = Polyfit.surface2_of_string (surface_line "S") in
+                Hashtbl.replace singles
+                  (name, int_of_string ci)
+                  { buf_delay_fit; wire_delay_fit; wire_slew_fit }
+            | [ "branch"; name; cl; cr ] ->
+                let delay_left_fit = Polyfit.surface3_of_string (surface_line "T") in
+                let delay_right_fit = Polyfit.surface3_of_string (surface_line "T") in
+                let slew_left_fit = Polyfit.surface3_of_string (surface_line "T") in
+                let slew_right_fit = Polyfit.surface3_of_string (surface_line "T") in
+                Hashtbl.replace branches
+                  (name, int_of_string cl, int_of_string cr)
+                  { delay_left_fit; delay_right_fit; slew_left_fit; slew_right_fit }
+            | "residual" :: label :: rms :: worst :: [] ->
+                residuals :=
+                  (label, float_of_string rms, float_of_string worst) :: !residuals
+            | _ -> fail ("unrecognized line: " ^ line));
+            loop ()
+      in
+      loop ();
+      {
+        tech;
+        buffers;
+        classes;
+        branch_classes;
+        slew_lo;
+        slew_hi;
+        len_lo;
+        len_hi;
+        blen_lo;
+        blen_hi;
+        singles;
+        branches;
+        residuals = List.rev !residuals;
+      })
 
 let load_or_characterize ?(profile = Accurate) ?pool ~cache tech buffers =
   if Sys.file_exists cache then
+    (* A corrupt or stale cache is recoverable: re-characterize and
+       overwrite. Only the parse/IO exceptions load can actually raise
+       are absorbed; anything else still propagates. *)
     try load cache
-    with _ ->
+    with Sys_error _ | Failure _ | Invalid_argument _ ->
       let t = characterize ~profile ?pool tech buffers in
       save t cache;
       t

@@ -35,6 +35,7 @@ type profile = Fast | Accurate
 val characterize :
   ?profile:profile -> ?pool:Parallel.t -> Circuit.Tech.t ->
   Circuit.Buffer_lib.t list -> t
+  [@@cts.raises "Failure,Invalid_argument,Not_found"]
 (** Run all characterization simulations and fit. Seconds to tens of
     seconds depending on profile; see {!load_or_characterize} for the
     cached entry point.
@@ -48,15 +49,18 @@ val characterize :
     {b Domain safety}: a characterized [t] is immutable after this
     returns and may be read concurrently from every domain. *)
 
-val save : t -> string -> unit
+val save : t -> string -> unit [@@cts.raises "Sys_error"]
 (** Write the fitted library to a text file. *)
 
-val load : string -> t
-(** Read a library back; raises [Failure] on malformed input. *)
+val load : string -> t [@@cts.raises "Failure,Invalid_argument,Sys_error"]
+(** Read a library back; raises [Failure] (or [Invalid_argument] from
+    a malformed surface) on bad input, [Sys_error] on an unreadable
+    path. The channel is closed on every path. *)
 
 val load_or_characterize :
   ?profile:profile -> ?pool:Parallel.t -> cache:string -> Circuit.Tech.t ->
   Circuit.Buffer_lib.t list -> t
+  [@@cts.raises "Failure,Invalid_argument,Not_found,Sys_error"]
 (** Load from [cache] when present and readable, otherwise characterize
     (on [pool], see {!characterize}) and save to [cache]. *)
 
@@ -89,6 +93,7 @@ val eval_branch :
 val max_length_for_slew :
   t -> drive:Circuit.Buffer_lib.t -> load_cap:float -> input_slew:float ->
   slew_limit:float -> (float[@cts.unit "um"])
+  [@@cts.raises "Invalid_argument"]
 (** Longest wire this driver can drive while keeping the load slew within
     [slew_limit], assuming the given input slew; clamped to the
     characterized length domain. *)

@@ -297,9 +297,7 @@ let elmore_latency (tech : Circuit.Tech.t) tree =
   List.rev !results
 
 let elmore_skew tech tree =
-  match elmore_latency tech tree with
+  match List.map snd (elmore_latency tech tree) with
   | [] -> 0.
-  | delays ->
-      let ds = List.map snd delays in
-      List.fold_left Float.max (List.hd ds) ds
-      -. List.fold_left Float.min (List.hd ds) ds
+  | d :: _ as ds ->
+      List.fold_left Float.max d ds -. List.fold_left Float.min d ds

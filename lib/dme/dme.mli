@@ -13,6 +13,7 @@
 
 val synthesize :
   ?beta:(float[@cts.unit "dimensionless"]) -> Circuit.Tech.t -> Sinks.spec list -> Ctree.t
+  [@@cts.raises "Invalid_argument"]
 (** Unbuffered zero-skew DME tree; the root is a {!Ctree.Merge} node (or
     a sink for singleton inputs). [beta] is the topology cost weight of
     {!Topology.level_pairing}. *)
@@ -20,6 +21,7 @@ val synthesize :
 val synthesize_bounded :
   ?beta:(float[@cts.unit "dimensionless"]) -> skew_bound:float -> Circuit.Tech.t -> Sinks.spec list ->
   Ctree.t
+  [@@cts.raises "Invalid_argument"]
 (** Bounded-skew DME (the BST algorithm of ref [4], whose bookshelf the
     GSRC benchmarks come from): subtree delays are intervals and merges
     only balance to within [skew_bound], trading skew for wirelength —
@@ -29,6 +31,7 @@ val synthesize_bounded :
 val synthesize_buffered :
   ?beta:(float[@cts.unit "dimensionless"]) -> ?cap_limit:float -> Circuit.Tech.t ->
   Circuit.Buffer_lib.t list -> Sinks.spec list -> Ctree.t
+  [@@cts.raises "Invalid_argument"]
 (** Merge-node-only buffered DME: whenever the downstream capacitance at
     a fresh merge node exceeds [cap_limit] (default 60 fF), a buffer
     (sized by load) is placed on the merge node. A root driver buffer is
@@ -41,8 +44,9 @@ val elmore_latency : Circuit.Tech.t -> Ctree.t -> (string * float) list
     delays the merge segments balanced — the zero-skew invariant checked
     by the tests. *)
 
-val elmore_skew : Circuit.Tech.t -> Ctree.t -> float
-(** Max minus min of {!elmore_latency}. *)
+val elmore_skew : Circuit.Tech.t -> Ctree.t -> float [@@cts.raises ""]
+(** Max minus min of {!elmore_latency}; total — an empty tree has zero
+    skew. *)
 
 val buffer_delay_estimate :
   Circuit.Tech.t -> Circuit.Buffer_lib.t -> load:(float[@cts.unit "ff"]) ->

@@ -3,10 +3,13 @@
 type t = { xmin : float; ymin : float; xmax : float; ymax : float }
 
 val make : float -> float -> float -> float -> t
+  [@@cts.raises "Invalid_argument"]
 (** [make xmin ymin xmax ymax]. Raises [Invalid_argument] when inverted. *)
 
 val of_points : Point.t list -> t
-(** Tight box around a non-empty list of points. *)
+  [@@cts.raises "Invalid_argument"]
+(** Tight box around a non-empty list of points; raises
+    [Invalid_argument] on an empty one. *)
 
 val width : t -> float
 val height : t -> float

@@ -23,7 +23,9 @@ val lerp : t -> t -> float -> t
 val midpoint : t -> t -> t
 
 val centroid : t list -> t
-(** Arithmetic mean of a non-empty list of points. *)
+  [@@cts.raises "Invalid_argument"]
+(** Arithmetic mean of a non-empty list of points; raises
+    [Invalid_argument] on an empty one. *)
 
 val equal : ?eps:float -> t -> t -> bool
 (** Componentwise comparison with absolute tolerance [eps] (default 1e-9). *)

@@ -1,0 +1,1525 @@
+(* Interprocedural exception-flow & resource-safety analyzer (E1-E5).
+   See exc.mli for the rule set.
+
+   Pass 1 walks every top-level definition into a summary of raise
+   sites and call edges. Each site snapshots the handler frames active
+   around it (a [try]/[match-exception] subtracts the exceptions its
+   enumerated cases catch; a catch-all absorbs everything; a catch-all
+   that re-raises its variable — an observer — subtracts nothing) and
+   the resource brackets open at the site ([Mutex.lock] .. [unlock],
+   [open_in*] .. [close_in*]). [Mutex.protect] and [Fun.protect] are
+   the blessed exception-safe forms and open no hazard. Let-bound
+   lambdas become their own child summaries so a local closure's
+   effects never pollute the enclosing definition until the closure is
+   referenced; lambdas passed directly to HOF arguments are walked
+   inline (stdlib HOFs apply them); [Parallel.map]/[Parallel.iter]
+   task closures and [Domain.spawn] thunks start fresh task roots
+   (with a coordinator edge back into the submitter, because
+   [Parallel.map] re-raises the first task exception).
+
+   Pass 2 seeds each summary's may-raise effect set from its local
+   sites and the latent-exception table (partial stdlib calls), then
+   runs a monotone fixpoint over the call graph: a callee's effects
+   flow through each call edge filtered by the handler frames active
+   at the edge. Witness chains ("M.n -> raise Foo at file:l:c") are
+   kept per exception. Two sets are computed: the full inferred
+   may-raise set (E2 contract verification) and the undeclared set,
+   where a definition's own [@cts.raises] contract subtracts what it
+   documents (E1 only reports undocumented escapes).
+
+   Pass 3 emits E1-E5. Everything lands in one list sorted through
+   Lint.sort_diagnostics; summaries are processed in sorted-source
+   order, so the report is identical under any file-visit order.
+
+   Deliberate trust boundaries (see DESIGN.md section 5k): array /
+   string indexing and [assert] are excluded from the latent alphabet
+   (the numeric kernels would make every effect set Invalid_argument);
+   channel reads are charged End_of_file but not Sys_error; a
+   re-raised handler variable is tracked for resource safety (E3) but
+   not added to effect sets. *)
+
+open Parsetree
+module SS = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Small syntactic helpers (shared shape with race.ml)                  *)
+
+let dotted segs =
+  match List.rev segs with
+  | [] -> ""
+  | [ x ] -> x
+  | x :: m :: _ -> m ^ "." ^ x
+
+let apply_head e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (Longident.flatten txt)
+  | _ -> None
+
+let module_name_of path =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename path))
+
+let pattern_vars p =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+              acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p);
+    }
+  in
+  it.pat it p;
+  !acc
+
+let string_payload = function
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let nolabel_args args =
+  List.filter_map
+    (fun (lbl, e) -> match lbl with Asttypes.Nolabel -> Some e | _ -> None)
+    args
+
+let rec strip_constraint e =
+  match e.pexp_desc with
+  | Pexp_constraint (e', _) | Pexp_newtype (_, e') -> strip_constraint e'
+  | _ -> e
+
+(* ------------------------------------------------------------------ *)
+(* Latent-exception alphabet                                            *)
+
+(* Partial stdlib calls charged as latent exceptions. Array/string
+   indexing and [assert] are deliberately absent (trust boundary);
+   channel reads are End_of_file, not Sys_error. *)
+let raising_prims =
+  [
+    ("Option.get", "Invalid_argument");
+    ("List.hd", "Failure"); ("List.tl", "Failure");
+    ("Hashtbl.find", "Not_found"); ("List.assoc", "Not_found");
+    ("List.find", "Not_found"); ("String.index", "Not_found");
+    ("String.rindex", "Not_found"); ("Sys.getenv", "Not_found");
+    ("failwith", "Failure"); ("invalid_arg", "Invalid_argument");
+    ("int_of_string", "Failure"); ("float_of_string", "Failure");
+    ("open_in", "Sys_error"); ("open_in_bin", "Sys_error");
+    ("open_in_gen", "Sys_error"); ("open_out", "Sys_error");
+    ("open_out_bin", "Sys_error"); ("open_out_gen", "Sys_error");
+    ("input_line", "End_of_file"); ("input_char", "End_of_file");
+    ("input_byte", "End_of_file"); ("input_value", "End_of_file");
+    ("really_input", "End_of_file"); ("really_input_string", "End_of_file");
+    ("Queue.pop", "Queue.Empty"); ("Queue.take", "Queue.Empty");
+    ("Queue.peek", "Queue.Empty");
+    ("Stack.pop", "Stack.Empty"); ("Stack.top", "Stack.Empty");
+  ]
+
+(* The subset whose argument shape a dominating check can prove, and
+   which E5 polices on task-reachable paths. *)
+let e5_partials = [ "Option.get"; "List.hd"; "List.tl" ]
+
+let open_prims =
+  [ "open_in"; "open_in_bin"; "open_in_gen";
+    "open_out"; "open_out_bin"; "open_out_gen" ]
+
+let close_prims =
+  [ "close_in"; "close_in_noerr"; "close_out"; "close_out_noerr" ]
+
+let raise_prims = [ "raise"; "raise_notrace"; "Printexc.raise_with_backtrace" ]
+
+let poly_exn = "<re-raise>"
+
+(* ------------------------------------------------------------------ *)
+(* Exception-name matching                                              *)
+
+let last_seg s =
+  match String.rindex_opt s '.' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> s
+
+let qualified s = String.contains s '.'
+
+(* Lenient on qualification: a bare [Check_failed] caught locally
+   matches a [Ctree_check.Check_failed] raised elsewhere. *)
+let exn_matches a b =
+  a = b
+  || ((not (qualified a)) && last_seg b = a)
+  || ((not (qualified b)) && last_seg a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Summaries                                                            *)
+
+type handled = H_all | H_exns of SS.t
+
+type hframe = {
+  hf_handled : handled;
+  hf_buids : int list;  (* brackets already open at try entry *)
+  hf_released : string list;  (* bracket ids the handler bodies release *)
+}
+
+type bracket = {
+  b_uid : int;
+  b_id : string;
+  b_desc : string;
+  b_line : int;
+  mutable b_safe : bool;  (* release guaranteed on unwind (Fun.protect) *)
+}
+
+type skind = S_exn of string | S_call of string * string
+
+type site = {
+  s_kind : skind;
+  s_what : string;  (* "raise Foo", "List.hd", "Run.span", ... *)
+  s_poly : bool;  (* re-raise of an in-flight exception: E3 only *)
+  s_hsnap : hframe list;  (* innermost first *)
+  s_bsnap : bracket list;
+  s_loc : Location.t;
+}
+
+type info = {
+  i_file : string;
+  i_mod : string;
+  i_name : string;
+  i_loc : Location.t;
+  i_public : bool;  (* structure-level definition: exported in raise table *)
+  i_task : string option;  (* Some "Parallel.map" | "Domain.spawn" for roots *)
+  mutable i_sites : site list;
+  mutable i_partials : (string * Location.t) list;  (* E5 candidates *)
+  (* pass-2 results: exn -> witness chain, insertion-ordered *)
+  mutable i_eff : (string * string) list;
+  mutable i_undecl : (string * string) list;
+}
+
+type contract = {
+  co_key : string * string;
+  co_exns : SS.t;
+  co_file : string;
+  co_line : int;
+  co_col : int;
+}
+
+type global = {
+  defs : (string * string, info) Hashtbl.t;
+  mutable infos : info list;  (* reverse insertion order until finalize *)
+  mutable roots : info list;
+  exndecls : (string * string, unit) Hashtbl.t;
+  contracts : (string * string, contract) Hashtbl.t;
+  mutable contract_list : contract list;
+  mutable next_uid : int;
+  mutable diags : Lint.diagnostic list;
+}
+
+type fctx = {
+  f_path : string;
+  f_mod : string;
+  f_aliases : (string, string) Hashtbl.t;
+}
+
+type ctx = {
+  glob : global;
+  fc : fctx;
+  info : info;
+  defname : string;
+  catch_all_ok : bool;  (* [@cts.catch_all_ok "reason"] in scope *)
+  partial_ok : bool;  (* [@cts.partial_ok] in scope *)
+}
+
+let diag_at glob file (loc : Location.t) rule message =
+  let p = loc.Location.loc_start in
+  glob.diags <-
+    {
+      Lint.rule;
+      file;
+      line = p.Lexing.pos_lnum;
+      col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+      message;
+    }
+    :: glob.diags
+
+let get_def glob key file modname name loc ~public ~task =
+  match Hashtbl.find_opt glob.defs key with
+  | Some i -> i
+  | None ->
+      let i =
+        {
+          i_file = file;
+          i_mod = modname;
+          i_name = name;
+          i_loc = loc;
+          i_public = public;
+          i_task = task;
+          i_sites = [];
+          i_partials = [];
+          i_eff = [];
+          i_undecl = [];
+        }
+      in
+      Hashtbl.replace glob.defs key i;
+      glob.infos <- i :: glob.infos;
+      i
+
+(* ------------------------------------------------------------------ *)
+(* Environment and proven-shape facts                                   *)
+
+module Env = Map.Make (String)
+
+(* KFn (Some key): a let-bound local function summarized as its own
+   child definition under [key]; references become call edges to it. *)
+type kind = KFn of string option | KVal
+
+let bind_vals env p =
+  List.fold_left (fun e v -> Env.add v KVal e) env (pattern_vars p)
+
+let resolve_alias fc m =
+  match Hashtbl.find_opt fc.f_aliases m with Some t -> t | None -> m
+
+let qualify ctx (lid : Longident.t) =
+  match Longident.flatten lid with
+  | [ x ] ->
+      if Hashtbl.mem ctx.glob.exndecls (ctx.fc.f_mod, x) then
+        ctx.fc.f_mod ^ "." ^ x
+      else x
+  | segs -> (
+      match List.rev segs with
+      | n :: m :: _ -> resolve_alias ctx.fc m ^ "." ^ n
+      | [ n ] -> n
+      | [] -> "<anon>")
+
+(* Resolved identity of a mutex expression (coarse, as in race.ml). *)
+let rec res_id ctx env e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match List.rev (Longident.flatten txt) with
+      | [ x ] -> if Env.mem x env then x else ctx.fc.f_mod ^ "." ^ x
+      | x :: m :: _ -> resolve_alias ctx.fc m ^ "." ^ x
+      | [] -> "<anon>")
+  | Pexp_field (_, { txt; _ }) -> (
+      match List.rev (Longident.flatten txt) with
+      | f :: _ -> "<." ^ f ^ ">"
+      | [] -> "<anon>")
+  | Pexp_constraint (e', _) -> res_id ctx env e'
+  | _ -> "<anon>"
+
+(* Can a dominating check have proven this argument non-empty/Some? *)
+let rec proven_expr prov e =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident v; _ } -> SS.mem v prov
+  | Pexp_construct ({ txt = Longident.Lident ("::" | "Some"); _ }, _) -> true
+  | Pexp_constraint (e', _) -> proven_expr prov e'
+  | _ -> false
+
+let is_nil e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident "[]"; _ }, None) -> true
+  | _ -> false
+
+let is_none e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident "None"; _ }, None) -> true
+  | _ -> false
+
+let var_of e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_ident { txt = Longident.Lident v; _ } -> Some v
+  | _ -> None
+
+let is_zero e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_constant (Pconst_integer ("0", None)) -> true
+  | _ -> false
+
+let length_var e =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_apply (f, [ (Asttypes.Nolabel, a) ]) -> (
+      match apply_head f with
+      | Some segs when List.mem (dotted segs) [ "List.length"; "Array.length" ]
+        ->
+          var_of a
+      | _ -> None)
+  | _ -> None
+
+(* (then-branch facts, else-branch facts) a condition establishes. *)
+let rec facts_of_cond c : SS.t * SS.t =
+  match (strip_constraint c).pexp_desc with
+  | Pexp_apply (f, [ (_, a); (_, b) ]) -> (
+      match apply_head f with
+      | Some [ "<>" ] -> (
+          match
+            if is_nil b || is_none b then var_of a
+            else if is_nil a || is_none a then var_of b
+            else None
+          with
+          | Some v -> (SS.singleton v, SS.empty)
+          | None -> (
+              match
+                if is_zero b then length_var a
+                else if is_zero a then length_var b
+                else None
+              with
+              | Some v -> (SS.singleton v, SS.empty)
+              | None -> (SS.empty, SS.empty)))
+      | Some [ "=" ] -> (
+          match
+            if is_nil b || is_none b then var_of a
+            else if is_nil a || is_none a then var_of b
+            else None
+          with
+          | Some v -> (SS.empty, SS.singleton v)
+          | None -> (SS.empty, SS.empty))
+      | Some [ ">" ] -> (
+          match if is_zero b then length_var a else None with
+          | Some v -> (SS.singleton v, SS.empty)
+          | None -> (SS.empty, SS.empty))
+      | Some [ "&&" ] ->
+          let ta, _ = facts_of_cond a and tb, _ = facts_of_cond b in
+          (SS.union ta tb, SS.empty)
+      | Some [ "||" ] ->
+          let _, ea = facts_of_cond a and _, eb = facts_of_cond b in
+          (SS.empty, SS.union ea eb)
+      | _ -> (SS.empty, SS.empty))
+  | Pexp_apply (f, [ (_, a) ]) -> (
+      match apply_head f with
+      | Some [ "not" ] ->
+          let t, e = facts_of_cond a in
+          (e, t)
+      | Some [ "Option"; "is_some" ] -> (
+          match var_of a with
+          | Some v -> (SS.singleton v, SS.empty)
+          | None -> (SS.empty, SS.empty))
+      | Some [ "Option"; "is_none" ] -> (
+          match var_of a with
+          | Some v -> (SS.empty, SS.singleton v)
+          | None -> (SS.empty, SS.empty))
+      | Some [ ("Queue" | "Stack"); "is_empty" ] -> (
+          (* [while not (Queue.is_empty q) do Queue.pop q ... done] is
+             the canonical worklist loop: the else/negated branch
+             proves the container non-empty. *)
+          match var_of a with
+          | Some v -> (SS.empty, SS.singleton v)
+          | None -> (SS.empty, SS.empty))
+      | _ -> (SS.empty, SS.empty))
+  | _ -> (SS.empty, SS.empty)
+
+let rec definitely_raises e =
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match apply_head f with
+      | Some segs ->
+          List.mem (dotted segs)
+            ("failwith" :: "invalid_arg" :: raise_prims)
+      | None -> false)
+  | Pexp_sequence (_, b) -> definitely_raises b
+  | Pexp_constraint (e', _) -> definitely_raises e'
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Attributes                                                           *)
+
+let flags_of_attrs ctx (attrs : attributes) =
+  List.fold_left
+    (fun ctx (a : attribute) ->
+      match a.attr_name.Location.txt with
+      | "cts.catch_all_ok"
+        when Option.is_some (string_payload a.attr_payload) ->
+          { ctx with catch_all_ok = true }
+      | "cts.partial_ok" -> { ctx with partial_ok = true }
+      | _ -> ctx)
+    ctx attrs
+
+let has_catch_all_ok (attrs : attributes) =
+  List.exists
+    (fun (a : attribute) ->
+      a.attr_name.Location.txt = "cts.catch_all_ok"
+      && Option.is_some (string_payload a.attr_payload))
+    attrs
+
+let parse_contract s =
+  SS.of_list
+    (List.filter
+       (fun t -> t <> "")
+       (List.map String.trim (String.split_on_char ',' s)))
+
+let add_contract glob key file (loc : Location.t) exns =
+  let p = loc.Location.loc_start in
+  let co =
+    {
+      co_key = key;
+      co_exns = exns;
+      co_file = file;
+      co_line = p.Lexing.pos_lnum;
+      co_col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    }
+  in
+  (match Hashtbl.find_opt glob.contracts key with
+  | Some old ->
+      glob.contract_list <-
+        List.filter (fun c -> c != old) glob.contract_list
+  | None -> ());
+  Hashtbl.replace glob.contracts key co;
+  glob.contract_list <- co :: glob.contract_list
+
+let contract_exns glob key =
+  match Hashtbl.find_opt glob.contracts key with
+  | Some c -> c.co_exns
+  | None -> SS.empty
+
+(* Contract entries are matched leniently (exn_matches): a contract
+   inside the defining module may spell [Check_failed] for what the
+   effect table qualifies as [Ctree_check.Check_failed]. *)
+let in_contract co x = SS.exists (fun c -> exn_matches c x) co
+
+(* ------------------------------------------------------------------ *)
+(* Site recording                                                       *)
+
+let add_site ?(poly = false) ctx hs brks kind what loc =
+  ctx.info.i_sites <-
+    {
+      s_kind = kind;
+      s_what = what;
+      s_poly = poly;
+      s_hsnap = hs;
+      s_bsnap = brks;
+      s_loc = loc;
+    }
+    :: ctx.info.i_sites
+
+let add_call ctx hs brks (m, n) loc =
+  add_site ctx hs brks (S_call (m, n)) "call" loc
+
+let note_ref ctx env hs brks (lid : Longident.t) loc =
+  match Longident.flatten lid with
+  | [ x ] -> (
+      match Env.find_opt x env with
+      | Some (KFn (Some key)) -> add_call ctx hs brks ("", key) loc
+      | Some _ -> ()
+      | None -> add_call ctx hs brks ("", x) loc)
+  | _ :: _ :: _ as segs -> (
+      match List.rev segs with
+      | n :: m :: _ -> add_call ctx hs brks (resolve_alias ctx.fc m, n) loc
+      | _ -> ())
+  | [] -> ()
+
+let frame_catches hf x =
+  match hf.hf_handled with
+  | H_all -> true
+  | H_exns s -> SS.exists (fun c -> exn_matches x c) s
+
+let absorbed hs x = List.exists (fun hf -> frame_catches hf x) hs
+
+(* Does bracket [b] leak when exception [x] flies at a site with
+   handler frames [hs] (innermost first)? *)
+let leaks b x hs =
+  if b.b_safe then false
+  else
+    let rec scan = function
+      | [] -> true  (* escapes the definition with the bracket open *)
+      | hf :: tl ->
+          if List.mem b.b_id hf.hf_released then false
+          else if frame_catches hf x then not (List.mem b.b_uid hf.hf_buids)
+          else scan tl
+    in
+    scan hs
+
+(* Bracket ids an expression releases (observer handlers, ~finally). *)
+let released_ids ctx env e =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e' ->
+          (match e'.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match (apply_head f, nolabel_args args) with
+              | Some segs, m :: _ when dotted segs = "Mutex.unlock" ->
+                  acc := ("lock:" ^ res_id ctx env m) :: !acc
+              | Some [ p ], a :: _ when List.mem p close_prims -> (
+                  match var_of a with
+                  | Some v -> acc := ("chan:" ^ v) :: !acc
+                  | None -> ())
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e');
+    }
+  in
+  it.expr it e;
+  !acc
+
+let reraises v e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e' ->
+          (match e'.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match (apply_head f, nolabel_args args) with
+              | Some segs, a :: _ when List.mem (dotted segs) raise_prims -> (
+                  match var_of a with
+                  | Some v' when v' = v -> found := true
+                  | _ -> ())
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e');
+    }
+  in
+  it.expr it e;
+  !found
+
+let open_bracket ctx brks id desc (loc : Location.t) =
+  ctx.glob.next_uid <- ctx.glob.next_uid + 1;
+  brks
+  @ [
+      {
+        b_uid = ctx.glob.next_uid;
+        b_id = id;
+        b_desc = desc;
+        b_line = loc.Location.loc_start.Lexing.pos_lnum;
+        b_safe = false;
+      };
+    ]
+
+let close_bracket brks id =
+  let rec go = function
+    | [] -> []
+    | b :: tl ->
+        if b.b_id = id && not (List.exists (fun b' -> b'.b_id = id) tl) then tl
+        else b :: go tl
+  in
+  go (List.rev brks) |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Handler classification                                               *)
+
+(* [cases] are (exception-pattern, guard, rhs) triples. Returns the
+   combined frame for the protected region and emits E4 for swallowing
+   catch-alls. Guarded cases subtract nothing (the guard may fail). *)
+let classify_handlers ctx env brks cases =
+  let handled = ref SS.empty in
+  let all = ref false in
+  let released = ref [] in
+  List.iter
+    (fun (pat, guard, rhs) ->
+      released := !released @ released_ids ctx env rhs;
+      if guard = None then begin
+        let rec names p =
+          match p.ppat_desc with
+          | Ppat_construct (lid, _) -> Some [ qualify ctx lid.Location.txt ]
+          | Ppat_or (a, b) -> (
+              match (names a, names b) with
+              | Some x, Some y -> Some (x @ y)
+              | _ -> None)
+          | Ppat_alias (p', _) | Ppat_constraint (p', _) -> names p'
+          | _ -> None
+        in
+        match names pat with
+        | Some ns -> handled := SS.union !handled (SS.of_list ns)
+        | None ->
+            let caught_var =
+              match pat.ppat_desc with
+              | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) -> Some txt
+              | _ -> None
+            in
+            let observer =
+              match caught_var with Some v -> reraises v rhs | None -> false
+            in
+            if not observer then begin
+              all := true;
+              if
+                not (ctx.catch_all_ok || has_catch_all_ok rhs.pexp_attributes)
+              then
+                diag_at ctx.glob ctx.fc.f_path pat.ppat_loc "E4"
+                  "catch-all handler swallows every exception \
+                   (Out_of_memory and Stack_overflow included); enumerate \
+                   the expected exceptions or annotate [@cts.catch_all_ok \
+                   \"reason\"]"
+            end
+      end)
+    cases;
+  {
+    hf_handled = (if !all then H_all else H_exns !handled);
+    hf_buids = List.map (fun b -> b.b_uid) brks;
+    hf_released = !released;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The walker                                                           *)
+
+(* [walk] returns the bracket state after the expression; handler
+   frames and proven-shape facts flow downward only. *)
+let rec walk ctx env prov hs brks e : bracket list =
+  let ctx = flags_of_attrs ctx e.pexp_attributes in
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+      note_ref ctx env hs brks txt e.pexp_loc;
+      brks
+  | Pexp_apply (f, args) -> walk_apply ctx env prov hs brks e f args
+  | Pexp_let (rf, vbs, body) -> walk_let ctx env prov hs brks rf vbs body
+  | Pexp_fun _ | Pexp_function _ ->
+      (* A lambda in a non-applied position: its body becomes a latent
+         child summary with no inbound edge — effects do not leak into
+         the enclosing definition until something references it. *)
+      let p = e.pexp_loc.Location.loc_start in
+      let name =
+        Printf.sprintf "%s.<fn@%d:%d>" ctx.defname p.Lexing.pos_lnum
+          (p.Lexing.pos_cnum - p.Lexing.pos_bol)
+      in
+      let ci =
+        get_def ctx.glob (ctx.fc.f_mod, name) ctx.fc.f_path ctx.fc.f_mod name
+          e.pexp_loc ~public:false ~task:None
+      in
+      do_body { ctx with info = ci; defname = name } env e;
+      brks
+  | Pexp_try (body, cases) ->
+      let frame =
+        classify_handlers ctx env brks
+          (List.map (fun c -> (c.pc_lhs, c.pc_guard, c.pc_rhs)) cases)
+      in
+      let brks' = walk ctx env prov (frame :: hs) brks body in
+      List.iter
+        (fun c ->
+          let env' = bind_vals env c.pc_lhs in
+          Option.iter
+            (fun g -> ignore (walk ctx env' prov hs brks g))
+            c.pc_guard;
+          ignore (walk ctx env' prov hs brks c.pc_rhs))
+        cases;
+      brks'
+  | Pexp_match (scrut, cases) ->
+      let is_exn_case c =
+        match c.pc_lhs.ppat_desc with Ppat_exception _ -> true | _ -> false
+      in
+      let exn_cases, val_cases = List.partition is_exn_case cases in
+      let brks' =
+        if exn_cases = [] then walk ctx env prov hs brks scrut
+        else
+          let frame =
+            classify_handlers ctx env brks
+              (List.filter_map
+                 (fun c ->
+                   match c.pc_lhs.ppat_desc with
+                   | Ppat_exception p -> Some (p, c.pc_guard, c.pc_rhs)
+                   | _ -> None)
+                 exn_cases)
+          in
+          walk ctx env prov (frame :: hs) brks scrut
+      in
+      (* Shape proving: a match with an explicit []/None case proves
+         the scrutinee in every other case. *)
+      let proved_var =
+        match var_of scrut with
+        | Some v
+          when List.exists
+                 (fun c ->
+                   match c.pc_lhs.ppat_desc with
+                   | Ppat_construct
+                       ({ txt = Longident.Lident ("[]" | "None"); _ }, None)
+                     ->
+                       true
+                   | _ -> false)
+                 val_cases ->
+            Some v
+        | _ -> None
+      in
+      List.iter
+        (fun c ->
+          let env' = bind_vals env c.pc_lhs in
+          let prov' =
+            match proved_var with
+            | Some v
+              when not
+                     (match c.pc_lhs.ppat_desc with
+                     | Ppat_construct
+                         ({ txt = Longident.Lident ("[]" | "None"); _ }, None)
+                       ->
+                         true
+                     | _ -> false) ->
+                SS.add v prov
+            | _ -> prov
+          in
+          Option.iter
+            (fun g -> ignore (walk ctx env' prov' hs brks' g))
+            c.pc_guard;
+          ignore (walk ctx env' prov' hs brks' c.pc_rhs))
+        val_cases;
+      List.iter
+        (fun c ->
+          let env' = bind_vals env c.pc_lhs in
+          Option.iter
+            (fun g -> ignore (walk ctx env' prov hs brks g))
+            c.pc_guard;
+          ignore (walk ctx env' prov hs brks c.pc_rhs))
+        exn_cases;
+      brks'
+  | Pexp_ifthenelse (c, a, b) ->
+      let brks' = walk ctx env prov hs brks c in
+      let tf, ef = facts_of_cond c in
+      ignore (walk ctx env (SS.union prov tf) hs brks' a);
+      Option.iter
+        (fun b -> ignore (walk ctx env (SS.union prov ef) hs brks' b))
+        b;
+      brks'
+  | Pexp_sequence (a, b) ->
+      let brks' = walk ctx env prov hs brks a in
+      (* Early-exit guard: [if cond then raise ...; rest] proves the
+         negation of [cond] for the rest of the sequence. *)
+      let prov' =
+        match a.pexp_desc with
+        | Pexp_ifthenelse (c, th, None) when definitely_raises th ->
+            let _, ef = facts_of_cond c in
+            SS.union prov ef
+        | _ -> prov
+      in
+      walk ctx env prov' hs brks' b
+  | Pexp_while (c, body) ->
+      let brks' = walk ctx env prov hs brks c in
+      (* The body only runs while the condition holds: its then-facts
+         dominate every iteration (worklist pops, length-bounded
+         scans). *)
+      let tf, _ = facts_of_cond c in
+      ignore (walk ctx env (SS.union prov tf) hs brks' body);
+      brks'
+  | Pexp_for (pat, lo, hi, _, body) ->
+      let brks' = walk ctx env prov hs brks lo in
+      let brks' = walk ctx env prov hs brks' hi in
+      ignore (walk ctx (bind_vals env pat) prov hs brks' body);
+      brks'
+  | _ ->
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr = (fun _ e' -> ignore (walk ctx env prov hs brks e'));
+          case =
+            (fun _ c ->
+              let env = bind_vals env c.pc_lhs in
+              Option.iter
+                (fun g -> ignore (walk ctx env prov hs brks g))
+                c.pc_guard;
+              ignore (walk ctx env prov hs brks c.pc_rhs));
+          attributes = (fun _ _ -> ());
+          pat = (fun _ _ -> ());
+          typ = (fun _ _ -> ());
+        }
+      in
+      Ast_iterator.default_iterator.expr it e;
+      brks
+
+(* Walk a definition body: peel the leading parameter chain (those
+   lambdas ARE the definition — calling it applies them), then walk. *)
+and do_body ctx env e =
+  let ctx = flags_of_attrs ctx e.pexp_attributes in
+  match e.pexp_desc with
+  | Pexp_fun (_, default, pat, body) ->
+      Option.iter
+        (fun d -> ignore (walk ctx env SS.empty [] [] d))
+        default;
+      do_body ctx (bind_vals env pat) body
+  | Pexp_function cases ->
+      List.iter
+        (fun c ->
+          let env' = bind_vals env c.pc_lhs in
+          Option.iter
+            (fun g -> ignore (walk ctx env' SS.empty [] [] g))
+            c.pc_guard;
+          ignore (walk ctx env' SS.empty [] [] c.pc_rhs))
+        cases
+  | Pexp_constraint (e', _) | Pexp_newtype (_, e') -> do_body ctx env e'
+  | _ -> ignore (walk ctx env SS.empty [] [] e)
+
+(* A lambda argument of an ordinary application: the HOF applies it,
+   so its body walks inline under the current frames and brackets. *)
+and walk_lambda_inline ctx env prov hs brks a =
+  let ctx = flags_of_attrs ctx a.pexp_attributes in
+  match a.pexp_desc with
+  | Pexp_fun (_, default, pat, body) ->
+      Option.iter (fun d -> ignore (walk ctx env prov hs brks d)) default;
+      walk_lambda_inline ctx (bind_vals env pat) prov hs brks body
+  | Pexp_function cases ->
+      List.iter
+        (fun c ->
+          let env' = bind_vals env c.pc_lhs in
+          Option.iter
+            (fun g -> ignore (walk ctx env' prov hs brks g))
+            c.pc_guard;
+          ignore (walk ctx env' prov hs brks c.pc_rhs))
+        cases
+  | _ -> ignore (walk ctx env prov hs brks a)
+
+(* A deferred task closure: fresh root summary (empty frames/brackets
+   — a task never inherits its submitter's handlers), plus an edge
+   from the submitter to the root because Parallel.map re-raises the
+   first task exception on the coordinator. *)
+and walk_closure_as_root ctx env hs brks task a =
+  let p = a.pexp_loc.Location.loc_start in
+  let name =
+    Printf.sprintf "<task@%d:%d>" p.Lexing.pos_lnum
+      (p.Lexing.pos_cnum - p.Lexing.pos_bol)
+  in
+  let fresh = not (Hashtbl.mem ctx.glob.defs (ctx.fc.f_mod, name)) in
+  let ri =
+    get_def ctx.glob (ctx.fc.f_mod, name) ctx.fc.f_path ctx.fc.f_mod name
+      a.pexp_loc ~public:false ~task:(Some task)
+  in
+  if fresh then ctx.glob.roots <- ri :: ctx.glob.roots;
+  let rctx = { ctx with info = ri; defname = name } in
+  (match a.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> do_body rctx env a
+  | Pexp_ident { txt; _ } -> note_ref rctx env [] [] txt a.pexp_loc
+  | _ -> ());
+  add_call ctx hs brks ("", name) a.pexp_loc
+
+and walk_let ctx env prov hs brks rf vbs body =
+  let binds =
+    List.map
+      (fun vb ->
+        match
+          (vb.pvb_pat.ppat_desc, (strip_constraint vb.pvb_expr).pexp_desc)
+        with
+        | Ppat_var { txt; _ }, (Pexp_fun _ | Pexp_function _) ->
+            let line = vb.pvb_loc.Location.loc_start.Lexing.pos_lnum in
+            `Fn (txt, Printf.sprintf "%s.%s@%d" ctx.defname txt line, vb)
+        | _ -> `Val vb)
+      vbs
+  in
+  let env' =
+    List.fold_left
+      (fun env b ->
+        match b with
+        | `Fn (v, key, _) -> Env.add v (KFn (Some key)) env
+        | `Val vb -> bind_vals env vb.pvb_pat)
+      env binds
+  in
+  let rhs_env = if rf = Asttypes.Recursive then env' else env in
+  let brks', prov' =
+    List.fold_left
+      (fun (brks, prov) b ->
+        match b with
+        | `Fn (_, key, vb) ->
+            (* Local function: its own child summary, walked with empty
+               frames and brackets — applied later, the call edge
+               carries the application-site context. *)
+            let ci =
+              get_def ctx.glob (ctx.fc.f_mod, key) ctx.fc.f_path ctx.fc.f_mod
+                key vb.pvb_loc ~public:false ~task:None
+            in
+            (match
+               List.find_map
+                 (fun (a : attribute) ->
+                   if a.attr_name.Location.txt = "cts.raises" then
+                     string_payload a.attr_payload
+                   else None)
+                 vb.pvb_attributes
+             with
+            | Some s ->
+                add_contract ctx.glob (ctx.fc.f_mod, key) ctx.fc.f_path
+                  vb.pvb_loc (parse_contract s)
+            | None -> ());
+            let cctx =
+              flags_of_attrs
+                { ctx with info = ci; defname = key }
+                vb.pvb_attributes
+            in
+            do_body cctx rhs_env vb.pvb_expr;
+            (brks, prov)
+        | `Val vb ->
+            let vctx = flags_of_attrs ctx vb.pvb_attributes in
+            let brks = walk vctx rhs_env prov hs brks vb.pvb_expr in
+            let rhs = strip_constraint vb.pvb_expr in
+            let prov =
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ } when proven_expr SS.empty rhs ->
+                  SS.add txt prov
+              | _ -> prov
+            in
+            let brks =
+              match (vb.pvb_pat.ppat_desc, rhs.pexp_desc) with
+              | Ppat_var { txt = v; _ }, Pexp_apply (f, _) -> (
+                  match apply_head f with
+                  | Some segs when List.mem (dotted segs) open_prims ->
+                      open_bracket ctx brks ("chan:" ^ v)
+                        (dotted segs ^ " " ^ v) vb.pvb_loc
+                  | _ -> brks)
+              | _ -> brks
+            in
+            (brks, prov))
+      (brks, prov) binds
+  in
+  walk ctx env' prov' hs brks' body
+
+and walk_raise ctx env prov hs brks x loc =
+  match (strip_constraint x).pexp_desc with
+  | Pexp_construct (lid, argo) ->
+      let exn = qualify ctx lid.Location.txt in
+      Option.iter (fun a -> ignore (walk ctx env prov hs brks a)) argo;
+      add_site ctx hs brks (S_exn exn) ("raise " ^ exn) loc;
+      brks
+  | _ ->
+      ignore (walk ctx env prov hs brks x);
+      add_site ~poly:true ctx hs brks (S_exn poly_exn) "re-raise" loc;
+      brks
+
+and walk_apply ctx env prov hs brks e f args =
+  match apply_head f with
+  | None ->
+      let brks' = walk ctx env prov hs brks f in
+      List.fold_left (fun b (_, a) -> walk ctx env prov hs b a) brks' args
+  | Some segs -> (
+      let d = dotted segs in
+      let pos = nolabel_args args in
+      match (d, pos) with
+      | ("raise" | "raise_notrace"), x :: _ ->
+          walk_raise ctx env prov hs brks x e.pexp_loc
+      | "Printexc.raise_with_backtrace", x :: _ ->
+          walk_raise ctx env prov hs brks x e.pexp_loc
+      | "Mutex.lock", m :: _ ->
+          ignore (walk ctx env prov hs brks m);
+          let id = "lock:" ^ res_id ctx env m in
+          open_bracket ctx brks id
+            ("Mutex.lock " ^ res_id ctx env m)
+            e.pexp_loc
+      | "Mutex.unlock", m :: _ ->
+          ignore (walk ctx env prov hs brks m);
+          close_bracket brks ("lock:" ^ res_id ctx env m)
+      | "Mutex.protect", m :: rest ->
+          (* The blessed exception-safe lock form: no bracket. *)
+          ignore (walk ctx env prov hs brks m);
+          List.iter (walk_lambda_inline ctx env prov hs brks) rest;
+          brks
+      | "Fun.protect", _ ->
+          (* ~finally guarantees release on unwind: mark the brackets
+             it closes safe for the thunk's sites, then close them. *)
+          let released =
+            List.concat_map
+              (fun (lbl, a) ->
+                match lbl with
+                | Asttypes.Labelled "finally" -> released_ids ctx env a
+                | _ -> [])
+              args
+          in
+          List.iter
+            (fun b -> if List.mem b.b_id released then b.b_safe <- true)
+            brks;
+          List.iter
+            (fun (_, a) -> walk_lambda_inline ctx env prov hs brks a)
+            args;
+          List.fold_left close_bracket brks released
+      | p, a :: _ when List.mem p close_prims -> (
+          match var_of a with
+          | Some v -> close_bracket brks ("chan:" ^ v)
+          | None -> brks)
+      | ("Domain.spawn" | "Domain.Spawn.spawn"), args' ->
+          List.iter
+            (walk_closure_as_root ctx env hs brks "Domain.spawn")
+            args';
+          brks
+      | _ ->
+          let is_pool =
+            match segs with
+            | [ m; ("map" | "iter") ] -> resolve_alias ctx.fc m = "Parallel"
+            | _ -> false
+          in
+          if is_pool then begin
+            List.iteri
+              (fun i a ->
+                if i = 0 then ignore (walk ctx env prov hs brks a)
+                else
+                  match a.pexp_desc with
+                  | Pexp_fun _ | Pexp_function _ | Pexp_ident _ ->
+                      walk_closure_as_root ctx env hs brks
+                        (d ^ " at line "
+                        ^ string_of_int
+                            e.pexp_loc.Location.loc_start.Lexing.pos_lnum)
+                        a
+                  | _ -> ignore (walk ctx env prov hs brks a))
+              pos;
+            List.iter
+              (fun (lbl, a) ->
+                match lbl with
+                | Asttypes.Nolabel -> ()
+                | _ -> ignore (walk ctx env prov hs brks a))
+              args;
+            brks
+          end
+          else begin
+            (* Latent partial-call exceptions, E5 candidates. *)
+            (match List.assoc_opt d raising_prims with
+            | Some exn ->
+                let e5able = List.mem d e5_partials in
+                (* A dominating shape check absolves any
+                   container-shaped latent prim (Option.get, List.hd,
+                   Queue.pop under a worklist guard, ...): facts only
+                   ever name list/option/queue/stack variables, so
+                   string/key-indexed prims are unaffected. *)
+                let proven =
+                  match pos with
+                  | a :: _ -> proven_expr prov a
+                  | [] -> false
+                in
+                if not proven then begin
+                  add_site ctx hs brks (S_exn exn) d e.pexp_loc;
+                  if e5able && not ctx.partial_ok then
+                    ctx.info.i_partials <- (d, e.pexp_loc) :: ctx.info.i_partials
+                end
+            | None -> ());
+            ignore (walk ctx env prov hs brks f);
+            List.fold_left
+              (fun b (_, a) ->
+                match a.pexp_desc with
+                | Pexp_fun _ | Pexp_function _ ->
+                    walk_lambda_inline ctx env prov hs b a;
+                    b
+                | _ -> walk ctx env prov hs b a)
+              brks args
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Structure / signature passes                                         *)
+
+(* Pre-pass: locally declared exceptions (for qualification) and
+   module aliases. *)
+let classify_toplevel glob fc (str : structure) =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_exception te ->
+          Hashtbl.replace glob.exndecls
+            (fc.f_mod, te.ptyexn_constructor.pext_name.Location.txt)
+            ()
+      | Pstr_module mb -> (
+          match (mb.pmb_name.Location.txt, mb.pmb_expr.pmod_desc) with
+          | Some alias, Pmod_ident { txt; _ } -> (
+              match List.rev (Longident.flatten txt) with
+              | last :: _ -> Hashtbl.replace fc.f_aliases alias last
+              | [] -> ())
+          | _ -> ())
+      | _ -> ())
+    str
+
+let do_structure glob fc (str : structure) =
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              let name =
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt; _ } -> txt
+                | _ ->
+                    Printf.sprintf "_top_%d"
+                      item.pstr_loc.Location.loc_start.Lexing.pos_lnum
+              in
+              (match
+                 List.find_map
+                   (fun (a : attribute) ->
+                     if a.attr_name.Location.txt = "cts.raises" then
+                       string_payload a.attr_payload
+                     else None)
+                   vb.pvb_attributes
+               with
+              | Some s ->
+                  add_contract glob (fc.f_mod, name) fc.f_path vb.pvb_loc
+                    (parse_contract s)
+              | None -> ());
+              let info =
+                get_def glob (fc.f_mod, name) fc.f_path fc.f_mod name
+                  vb.pvb_loc ~public:true ~task:None
+              in
+              let ctx =
+                {
+                  glob;
+                  fc;
+                  info;
+                  defname = name;
+                  catch_all_ok = false;
+                  partial_ok = false;
+                }
+              in
+              let ctx = flags_of_attrs ctx vb.pvb_attributes in
+              do_body ctx Env.empty vb.pvb_expr)
+            vbs
+      | Pstr_eval (e, attrs) ->
+          let info =
+            get_def glob (fc.f_mod, "_eval") fc.f_path fc.f_mod "_eval"
+              item.pstr_loc ~public:true ~task:None
+          in
+          let ctx =
+            {
+              glob;
+              fc;
+              info;
+              defname = "_eval";
+              catch_all_ok = false;
+              partial_ok = false;
+            }
+          in
+          let ctx = flags_of_attrs ctx attrs in
+          ignore (walk ctx Env.empty SS.empty [] [] e)
+      | _ -> ())
+    str
+
+(* Contracts from mli signatures ([@@cts.raises "Exn1,Exn2"] /
+   [@@cts.raises ""] on a val). Top-level values only: the library is
+   unwrapped, so (Module, name) keys line up with the ml summaries. *)
+let do_interface glob fc (sg : signature) =
+  List.iter
+    (fun item ->
+      match item.psig_desc with
+      | Psig_value vd ->
+          List.iter
+            (fun (a : attribute) ->
+              if a.attr_name.Location.txt = "cts.raises" then
+                match string_payload a.attr_payload with
+                | Some s ->
+                    add_contract glob
+                      (fc.f_mod, vd.pval_name.Location.txt)
+                      fc.f_path a.attr_loc (parse_contract s)
+                | None ->
+                    diag_at glob fc.f_path a.attr_loc "E2"
+                      "malformed [@cts.raises] payload: expected a string \
+                       of comma-separated exception names (\"\" for total)")
+            vd.pval_attributes
+      | _ -> ())
+    sg
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: effect seeding and fixpoint                                  *)
+
+let wit_of info (s : site) =
+  let p = s.s_loc.Location.loc_start in
+  Printf.sprintf "%s at %s:%d:%d" s.s_what info.i_file p.Lexing.pos_lnum
+    (p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+let seed_effects glob =
+  List.iter
+    (fun info ->
+      let co = contract_exns glob (info.i_mod, info.i_name) in
+      List.iter
+        (fun s ->
+          match s.s_kind with
+          | S_exn x when (not s.s_poly) && not (absorbed s.s_hsnap x) ->
+              let w = wit_of info s in
+              if not (List.exists (fun (y, _) -> exn_matches x y) info.i_eff)
+              then
+                info.i_eff <- info.i_eff @ [ (x, w) ];
+              if (not (in_contract co x)) && not (List.mem_assoc x info.i_undecl)
+              then info.i_undecl <- info.i_undecl @ [ (x, w) ]
+          | _ -> ())
+        info.i_sites)
+    glob.infos
+
+let fixpoint glob =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun info ->
+        let co = contract_exns glob (info.i_mod, info.i_name) in
+        List.iter
+          (fun s ->
+            match s.s_kind with
+            | S_call (m, n) -> (
+                let m = if m = "" then info.i_mod else m in
+                match Hashtbl.find_opt glob.defs (m, n) with
+                | Some callee when callee != info ->
+                    let chain w = Printf.sprintf "%s.%s -> %s" m n w in
+                    List.iter
+                      (fun (x, w) ->
+                        if
+                          (not (absorbed s.s_hsnap x))
+                          && not (List.mem_assoc x info.i_eff)
+                        then begin
+                          info.i_eff <- info.i_eff @ [ (x, chain w) ];
+                          changed := true
+                        end)
+                      callee.i_eff;
+                    List.iter
+                      (fun (x, w) ->
+                        if
+                          (not (absorbed s.s_hsnap x))
+                          && (not (in_contract co x))
+                          && not (List.mem_assoc x info.i_undecl)
+                        then begin
+                          info.i_undecl <- info.i_undecl @ [ (x, chain w) ];
+                          changed := true
+                        end)
+                      callee.i_undecl
+                | _ -> ())
+            | _ -> ())
+          info.i_sites)
+      glob.infos
+  done
+
+let task_reachable glob =
+  let visited : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let reached = ref [] in
+  let queue = Queue.create () in
+  List.iter (fun r -> Queue.add r queue) glob.roots;
+  while not (Queue.is_empty queue) do
+    let info = Queue.pop queue in
+    reached := info :: !reached;
+    List.iter
+      (fun s ->
+        match s.s_kind with
+        | S_call (m, n) -> (
+            let key = ((if m = "" then info.i_mod else m), n) in
+            if not (Hashtbl.mem visited key) then begin
+              Hashtbl.replace visited key ();
+              match Hashtbl.find_opt glob.defs key with
+              | Some i -> Queue.add i queue
+              | None -> ()
+            end)
+        | _ -> ())
+      info.i_sites
+  done;
+  !reached
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: diagnostics                                                  *)
+
+(* E1: an undeclared exception escapes a task closure. *)
+let report_e1 glob =
+  List.iter
+    (fun root ->
+      let task = match root.i_task with Some t -> t | None -> "task" in
+      List.iter
+        (fun (x, w) ->
+          diag_at glob root.i_file root.i_loc "E1"
+            (Printf.sprintf
+               "exception %s may escape this %s task closure (%s): a \
+                raising task poisons the pool; catch it inside the task or \
+                declare it in the provider's [@cts.raises] mli contract"
+               x task w))
+        root.i_undecl)
+    glob.roots
+
+(* E2: contract verification — violated and stale directions. *)
+let report_e2 glob =
+  let contracts =
+    List.sort
+      (fun a b ->
+        compare
+          (a.co_file, a.co_line, a.co_col, a.co_key)
+          (b.co_file, b.co_line, b.co_col, b.co_key))
+      glob.contract_list
+  in
+  List.iter
+    (fun co ->
+      match Hashtbl.find_opt glob.defs co.co_key with
+      | None -> ()
+      | Some info ->
+          let d msg =
+            glob.diags <-
+              {
+                Lint.rule = "E2";
+                file = co.co_file;
+                line = co.co_line;
+                col = co.co_col;
+                message = msg;
+              }
+              :: glob.diags
+          in
+          let m, n = co.co_key in
+          List.iter
+            (fun (x, w) ->
+              if not (in_contract co.co_exns x) then
+                d
+                  (Printf.sprintf
+                     "[@cts.raises] contract on %s.%s is violated: the \
+                      implementation may raise %s (%s); declare it or \
+                      handle it"
+                     m n x w))
+            info.i_eff;
+          SS.iter
+            (fun x ->
+              if not (List.exists (fun (y, _) -> exn_matches x y) info.i_eff)
+              then
+                d
+                  (Printf.sprintf
+                     "stale [@cts.raises] on %s.%s: the implementation \
+                      cannot raise %s; drop it from the contract"
+                     m n x))
+            co.co_exns)
+    contracts
+
+(* E3: a raising path between acquire and release. *)
+let report_e3 glob =
+  List.iter
+    (fun info ->
+      List.iter
+        (fun s ->
+          let candidates =
+            match s.s_kind with
+            | S_exn x ->
+                let what =
+                  if s.s_poly then "a re-raised in-flight exception"
+                  else x
+                in
+                [ (x, Printf.sprintf "%s may raise %s" s.s_what what) ]
+            | S_call (m, n) -> (
+                let m = if m = "" then info.i_mod else m in
+                match Hashtbl.find_opt glob.defs (m, n) with
+                | Some callee ->
+                    List.map
+                      (fun (x, w) ->
+                        ( x,
+                          Printf.sprintf "call to %s.%s may raise %s (%s)" m
+                            n x w ))
+                      callee.i_eff
+                | None -> [])
+          in
+          List.iter
+            (fun b ->
+              List.iter
+                (fun (x, desc) ->
+                  if leaks b x s.s_hsnap then
+                    diag_at glob info.i_file s.s_loc "E3"
+                      (Printf.sprintf
+                         "%s while %s (opened at line %d) is pending \
+                          release: the raising path leaks it; use \
+                          Mutex.protect/Fun.protect or release in an \
+                          exception handler"
+                         desc b.b_desc b.b_line))
+                candidates)
+            s.s_bsnap)
+        info.i_sites)
+    glob.infos
+
+(* E5: partial calls on unproven shapes in task-reachable code. *)
+let report_e5 glob reached =
+  List.iter
+    (fun info ->
+      if List.memq info reached then
+        List.iter
+          (fun (prim, loc) ->
+            diag_at glob info.i_file loc "E5"
+              (Printf.sprintf
+                 "partial %s on a value of unproven shape is reachable \
+                  from a Parallel/Domain task (via %s.%s); match the shape \
+                  explicitly or annotate [@cts.partial_ok]"
+                 prim info.i_mod info.i_name))
+          info.i_partials)
+    glob.infos
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+
+type result = {
+  diagnostics : Lint.diagnostic list;
+  raises : ((string * string) * string list) list;
+}
+
+let parse_with parser path contents =
+  let lexbuf = Lexing.from_string contents in
+  Lexing.set_filename lexbuf path;
+  parser lexbuf
+
+let syntax_diag glob path exn =
+  let line, col, msg =
+    match Location.error_of_exn exn with
+    | Some (`Ok (err : Location.error)) ->
+        let loc = err.Location.main.Location.loc in
+        let p = loc.Location.loc_start in
+        ( p.Lexing.pos_lnum,
+          p.Lexing.pos_cnum - p.Lexing.pos_bol,
+          Format.asprintf "%t" err.Location.main.Location.txt )
+    | _ -> (1, 0, Printexc.to_string exn)
+  in
+  glob.diags <-
+    { Lint.rule = "syntax"; file = path; line; col; message = msg }
+    :: glob.diags
+
+let analyze_sources sources =
+  let sources = List.map (fun (p, c) -> (Lint.normalize_path p, c)) sources in
+  let pick suffix =
+    List.sort compare
+      (List.filter (fun (p, _) -> Filename.check_suffix p suffix) sources)
+  in
+  let mls = pick ".ml" and mlis = pick ".mli" in
+  let glob =
+    {
+      defs = Hashtbl.create 256;
+      infos = [];
+      roots = [];
+      exndecls = Hashtbl.create 32;
+      contracts = Hashtbl.create 64;
+      contract_list = [];
+      next_uid = 0;
+      diags = [];
+    }
+  in
+  let mk_fc path =
+    { f_path = path; f_mod = module_name_of path; f_aliases = Hashtbl.create 8 }
+  in
+  let[@cts.catch_all_ok "a parse failure becomes a syntax diagnostic"] parsed =
+    List.filter_map
+      (fun (path, contents) ->
+        match parse_with Parse.implementation path contents with
+        | str -> Some (mk_fc path, str)
+        | exception exn ->
+            syntax_diag glob path exn;
+            None)
+      mls
+  in
+  List.iter (fun (fc, str) -> classify_toplevel glob fc str) parsed;
+  (* mli contracts before the walk so ml-level [@cts.raises] attributes
+     never shadow an mli contract's location. *)
+  List.iter (fun (fc, str) -> do_structure glob fc str) parsed;
+  List.iter
+    (fun (path, contents) ->
+      match parse_with Parse.interface path contents with
+      | sg -> do_interface glob (mk_fc path) sg
+      | exception exn ->
+          (syntax_diag glob path exn
+          [@cts.catch_all_ok "a parse failure becomes a syntax diagnostic"]))
+    mlis;
+  glob.infos <- List.rev glob.infos;
+  glob.roots <- List.rev glob.roots;
+  List.iter
+    (fun i ->
+      i.i_sites <- List.rev i.i_sites;
+      i.i_partials <- List.rev i.i_partials)
+    glob.infos;
+  seed_effects glob;
+  fixpoint glob;
+  let reached = task_reachable glob in
+  report_e1 glob;
+  report_e2 glob;
+  report_e3 glob;
+  report_e5 glob reached;
+  let raises =
+    List.sort compare
+      (List.filter_map
+         (fun info ->
+           if info.i_public && info.i_eff <> [] then
+             Some
+               ( (info.i_mod, info.i_name),
+                 List.sort compare (List.map fst info.i_eff) )
+           else None)
+         glob.infos)
+  in
+  { diagnostics = Lint.sort_diagnostics glob.diags; raises }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let analyze_paths paths =
+  analyze_sources (List.map (fun p -> (p, read_file p)) paths)
+
+let check_sources sources = (analyze_sources sources).diagnostics
+let check_paths paths = (analyze_paths paths).diagnostics

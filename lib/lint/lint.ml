@@ -746,19 +746,20 @@ let lint_sources sources =
       match parse_structure path contents with
       | str -> do_structure glob fc str
       | exception exn ->
-          let line, col, msg =
-            match Location.error_of_exn exn with
-            | Some (`Ok (e : Location.error)) ->
-                let loc = e.Location.main.Location.loc in
-                let p = loc.Location.loc_start in
-                ( p.Lexing.pos_lnum,
-                  p.Lexing.pos_cnum - p.Lexing.pos_bol,
-                  Format.asprintf "%t" e.Location.main.Location.txt )
-            | _ -> (1, 0, Printexc.to_string exn)
-          in
-          glob.diags <-
-            { rule = "syntax"; file = path; line; col; message = msg }
-            :: glob.diags)
+          (let line, col, msg =
+             match Location.error_of_exn exn with
+             | Some (`Ok (e : Location.error)) ->
+                 let loc = e.Location.main.Location.loc in
+                 let p = loc.Location.loc_start in
+                 ( p.Lexing.pos_lnum,
+                   p.Lexing.pos_cnum - p.Lexing.pos_bol,
+                   Format.asprintf "%t" e.Location.main.Location.txt )
+             | _ -> (1, 0, Printexc.to_string exn)
+           in
+           glob.diags <-
+             { rule = "syntax"; file = path; line; col; message = msg }
+             :: glob.diags)
+          [@cts.catch_all_ok "a parse failure becomes a syntax diagnostic"])
     mls;
   report_l1 glob;
   report_l5 glob mlis;

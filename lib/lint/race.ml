@@ -224,8 +224,9 @@ type info = {
   i_mod : string;
   i_name : string;  (* definition name, or "<task@line>" for roots *)
   mutable i_writes : write list;
-  mutable i_calls : (string * string * string list * Location.t) list;
-      (* (module ("" = same), name, locks held at the reference, loc) *)
+  mutable i_calls : (string * string * string list * bool * Location.t) list;
+      (* (module ("" = same), name, locks held at the reference,
+         shielded — under a try body or a protect combinator, loc) *)
   mutable i_acquires : (string * Location.t) list;
   mutable i_pairs : (string * string * Location.t) list;
       (* (outer, inner): inner acquired while outer held, same body *)
@@ -261,6 +262,8 @@ type ctx = {
   in_root : bool;
   claim : claim option;  (* innermost enclosing [@cts.guarded] *)
   blocking_ok : bool;  (* [@cts.blocking_ok] in scope *)
+  shielded : bool;  (* call edges made here are under a try body or a
+                       Mutex.protect / Fun.protect combinator *)
 }
 
 let diag_at glob file (loc : Location.t) rule message =
@@ -450,7 +453,7 @@ let nolabel_args args =
 
 let add_call ctx locks (edge : string * string) loc =
   let m, n = edge in
-  ctx.info.i_calls <- (m, n, locks, loc) :: ctx.info.i_calls
+  ctx.info.i_calls <- (m, n, locks, ctx.shielded, loc) :: ctx.info.i_calls
 
 let note_ref ctx env locks (lid : Longident.t) loc =
   match Longident.flatten lid with
@@ -585,8 +588,24 @@ let rec walk ctx env locks e : string list =
   | Pexp_function cases ->
       walk_cases ctx env locks cases;
       locks
-  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
-      let locks' = walk ctx env locks scrut in
+  | Pexp_match (scrut, cases) ->
+      (* [match e with ... | exception _ -> ...] handles like a try:
+         calls in the scrutinee are shielded for the C4 raise rule. *)
+      let handles =
+        List.exists
+          (fun c ->
+            match c.pc_lhs.ppat_desc with
+            | Ppat_exception _ -> true
+            | _ -> false)
+          cases
+      in
+      let locks' = walk { ctx with shielded = ctx.shielded || handles } env locks scrut in
+      walk_cases ctx env locks' cases;
+      locks'
+  | Pexp_try (scrut, cases) ->
+      (* Calls in the try body are shielded: an exception from them is
+         caught (or observed and the lock released) right here. *)
+      let locks' = walk { ctx with shielded = true } env locks scrut in
       walk_cases ctx env locks' cases;
       locks'
   | Pexp_ifthenelse (c, a, b) ->
@@ -659,7 +678,14 @@ and walk_apply ctx env locks e f args =
       | "Mutex.protect", m :: rest ->
           ignore (walk ctx env locks m);
           let inner = acquire ctx locks (lock_id ctx env m) e.pexp_loc in
+          let ctx = { ctx with shielded = true } in
           List.iter (fun a -> ignore (walk ctx env inner a)) rest;
+          locks
+      | "Fun.protect", _ ->
+          (* ~finally runs on unwind: calls inside are exception-safe
+             with respect to lock leaks. *)
+          let ctx = { ctx with shielded = true } in
+          List.iter (fun (_, a) -> ignore (walk ctx env locks a)) args;
           locks
       | ("Domain.spawn" | "Domain.Spawn.spawn"), args' ->
           List.iter (walk_closure_as_root ctx env) args';
@@ -795,6 +821,7 @@ let do_structure glob fc (str : structure) =
                   in_root = false;
                   claim = None;
                   blocking_ok = false;
+                  shielded = false;
                 }
               in
               let ctx = guards_of_attrs ctx vb.pvb_attributes in
@@ -811,6 +838,7 @@ let do_structure glob fc (str : structure) =
               in_root = false;
               claim = None;
               blocking_ok = false;
+              shielded = false;
             }
           in
           let ctx = guards_of_attrs ctx attrs in
@@ -828,7 +856,7 @@ let fixpoint glob =
     List.iter
       (fun info ->
         List.iter
-          (fun (m, n, locks, _) ->
+          (fun (m, n, locks, _, _) ->
             let key = ((if m = "" then info.i_mod else m), n) in
             match Hashtbl.find_opt glob.defs key with
             | None -> ()
@@ -884,7 +912,7 @@ let task_reachable glob =
     let info = Queue.pop queue in
     reached := info :: !reached;
     List.iter
-      (fun (m, n, _, _) ->
+      (fun (m, n, _, _, _) ->
         let key = ((if m = "" then info.i_mod else m), n) in
         if not (Hashtbl.mem visited key) then begin
           Hashtbl.replace visited key ();
@@ -1126,7 +1154,7 @@ let report_c3 glob =
     (fun info ->
       List.iter (fun (o, i, loc) -> add o i info.i_file loc) info.i_pairs;
       List.iter
-        (fun (m, n, locks, loc) ->
+        (fun (m, n, locks, _, loc) ->
           if locks <> [] then
             let key = ((if m = "" then info.i_mod else m), n) in
             match Hashtbl.find_opt glob.defs key with
@@ -1190,7 +1218,7 @@ let report_c4 glob =
                  (String.concat ", " locks)))
         info.i_blocking;
       List.iter
-        (fun (m, n, locks, loc) ->
+        (fun (m, n, locks, _, loc) ->
           if locks <> [] then
             let key = ((if m = "" then info.i_mod else m), n) in
             match Hashtbl.find_opt glob.defs key with
@@ -1209,6 +1237,39 @@ let report_c4 glob =
             | None -> ())
         info.i_calls)
     glob.infos
+
+(* C4 (raise direction): a call made while holding a lock, outside any
+   try body or protect combinator, to a callee whose inferred
+   [@cts.raises] effect set (shared table from the exception-flow
+   analyzer, Exc) is non-empty — a raise there unwinds past the unlock
+   and leaks the lock. *)
+let report_c4_raises glob raises =
+  if raises <> [] then begin
+    let tbl : (string * string, string list) Hashtbl.t =
+      Hashtbl.create (List.length raises)
+    in
+    List.iter (fun (k, exns) -> Hashtbl.replace tbl k exns) raises;
+    List.iter
+      (fun info ->
+        List.iter
+          (fun (m, n, locks, shielded, loc) ->
+            if locks <> [] && not shielded then
+              let m = if m = "" then info.i_mod else m in
+              match Hashtbl.find_opt tbl (m, n) with
+              | Some (_ :: _ as exns) ->
+                  diag_at glob info.i_file loc "C4"
+                    (Printf.sprintf
+                       "call to %s.%s may raise (%s) while holding {%s}: a \
+                        raise here unwinds past the unlock and leaks the \
+                        lock; wrap the critical section in Mutex.protect \
+                        or catch and release"
+                       m n
+                       (String.concat ", " exns)
+                       (String.concat ", " locks))
+              | Some [] | None -> ())
+          info.i_calls)
+      glob.infos
+  end
 
 (* C5: a Domain.DLS-derived value stored into shared mutable state. *)
 let report_c5 glob =
@@ -1235,7 +1296,7 @@ let parse_structure path contents =
   Lexing.set_filename lexbuf path;
   Parse.implementation lexbuf
 
-let check_sources sources =
+let check_sources ?(raises = []) sources =
   let sources = List.map (fun (p, c) -> (Lint.normalize_path p, c)) sources in
   let mls =
     List.sort compare
@@ -1251,7 +1312,7 @@ let check_sources sources =
       diags = [];
     }
   in
-  let parsed =
+  let[@cts.catch_all_ok "a parse failure becomes a syntax diagnostic"] parsed =
     List.filter_map
       (fun (path, contents) ->
         let fc =
@@ -1294,14 +1355,15 @@ let check_sources sources =
   report_c2 glob;
   report_c3 glob;
   report_c4 glob;
+  report_c4_raises glob raises;
   report_c5 glob;
   Lint.sort_diagnostics glob.diags
 
-let check_paths paths =
+let check_paths ?raises paths =
   let read_file path =
     let ic = open_in_bin path in
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  check_sources (List.map (fun p -> (p, read_file p)) paths)
+  check_sources ?raises (List.map (fun p -> (p, read_file p)) paths)

@@ -47,7 +47,11 @@
       shared channels) executed, directly or transitively, while
       holding a lock. [Condition.wait] is exempt (it releases the
       mutex); [[@cts.blocking_ok]] on the call or an enclosing
-      definition is the reviewed escape hatch.
+      definition is the reviewed escape hatch. When a [?raises] effect
+      table (from {!Exc.analyze_sources}) is supplied, C4 also flags a
+      call made while holding a lock — outside any [try] body,
+      [Mutex.protect] or [Fun.protect] — to a callee that may raise:
+      the raise unwinds past the unlock and leaks the lock.
     - {b C5} — a [Domain.DLS]-derived value stored into shared
       (module-level) mutable state, escaping its domain.
 
@@ -58,11 +62,21 @@
     worklists) is call-local to {!check_sources}; safe to run from any
     domain. *)
 
-val check_sources : (string * string) list -> Lint.diagnostic list
+val check_sources :
+  ?raises:((string * string) * string list) list ->
+  (string * string) list ->
+  Lint.diagnostic list
 (** [check_sources [(path, contents); ...]] analyzes in-memory
     sources. Paths are normalized as in {!Lint.normalize_path}; only
-    [.ml] entries are analyzed ([.mli] entries are ignored). *)
+    [.ml] entries are analyzed ([.mli] entries are ignored).
+    [?raises] is the shared may-raise effect table produced by
+    {!Exc.analyze_sources} ([(Module, name)] -> exception names); when
+    supplied, C4 additionally reports lock-holding calls to may-raise
+    callees (default: empty — behavior is unchanged). *)
 
-val check_paths : string list -> Lint.diagnostic list
+val check_paths :
+  ?raises:((string * string) * string list) list ->
+  string list ->
+  Lint.diagnostic list
 (** Read the given files from disk and analyze them; directory
     traversal is the caller's job (see {!Lint.scan}). *)

@@ -1037,7 +1037,8 @@ let check_sources sources =
       f_opens = [];
     }
   in
-  let parsed parser suffix =
+  let[@cts.catch_all_ok "a parse failure becomes a syntax diagnostic"] parsed
+      parser suffix =
     List.filter_map
       (fun (path, contents) ->
         if not (Filename.check_suffix path suffix) then None

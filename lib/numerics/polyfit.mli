@@ -23,6 +23,7 @@ type surface3
 
 val fit2 :
   degree:int -> (float * float) array -> float array -> surface2
+  [@@cts.raises "Failure,Invalid_argument"]
 (** [fit2 ~degree pts zs] fits all monomials [x^i y^j] with
     [i + j <= degree] to the samples. Requires at least as many samples as
     monomials. Raises [Invalid_argument] when any sample coordinate or
@@ -35,6 +36,7 @@ val eval2 : surface2 -> float -> float -> float
 
 val fit3 :
   degree:int -> (float * float * float) array -> float array -> surface3
+  [@@cts.raises "Failure,Invalid_argument"]
 (** Trivariate analogue of {!fit2} (total degree bound; same
     non-finite-sample rejection). *)
 
@@ -62,5 +64,10 @@ val surface2_to_string : surface2 -> string
     {!surface2_of_string}. *)
 
 val surface2_of_string : string -> surface2
+  [@@cts.raises "Failure,Invalid_argument"]
+(** Parse of {!surface2_to_string} output; raises [Failure] /
+    [Invalid_argument] on malformed input. *)
+
 val surface3_to_string : surface3 -> string
 val surface3_of_string : string -> surface3
+  [@@cts.raises "Failure,Invalid_argument"]

@@ -2,6 +2,7 @@
 
 val bisect :
   ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+  [@@cts.raises "Invalid_argument"]
 (** [bisect f lo hi] finds a root of [f] in [\[lo, hi\]]. [f lo] and
     [f hi] must have opposite signs (or one endpoint is a root). Raises
     [Invalid_argument] otherwise. Default [tol] is 1e-12 on the abscissa. *)

@@ -88,7 +88,8 @@ val render : t -> string
 (** Canonical pretty-printed JSON (the byte-identity surface). *)
 
 val write_file : string -> t -> unit
+  [@@cts.raises "Invalid_argument,Sys_error"]
 
-val load_file : string -> (t, string) result
+val load_file : string -> (t, string) result [@@cts.raises "End_of_file"]
 (** Read and strictly parse; [Error] carries the path and covers
     missing/unreadable files, malformed JSON and schema violations. *)

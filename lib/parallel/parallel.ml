@@ -201,7 +201,8 @@ let map pool f arr =
     let deltas = Array.make n Obs.no_delta in
     let error = Atomic.make None in
     let ctx = Obs.task_context () in
-    let run i =
+    let[@cts.catch_all_ok
+         "captured with its backtrace and re-raised on the coordinator"] run i =
       let token = Obs.task_enter ~ctx () in
       (match f arr.(i) with
       | v -> results.(i) <- Some v

@@ -80,6 +80,7 @@ val with_pool : ?size:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exceptions). *)
 
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
+  [@@cts.raises "Invalid_argument"]
 (** Parallel [Array.map]. With a pool of size 1 (or arrays of length
     at most 1) this {e is} [Array.map f arr] on the calling domain.
 
@@ -89,6 +90,7 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
     sequentially. *)
 
 val iter : t -> ('a -> unit) -> 'a array -> unit
+  [@@cts.raises "Invalid_argument"]
 (** Parallel [Array.iter]; same contracts as {!map}. *)
 
 val default_pool : unit -> t

@@ -109,6 +109,7 @@ val capture :
   ?label:string -> ?profile:string -> ?scale:float ->
   ?obs:Obs.snapshot -> ?runtime:runtime -> ?source_slew:float ->
   Delaylib.t -> Cts_config.t -> Cts.result -> t
+  [@@cts.raises "Invalid_argument"]
 (** Take a snapshot of a finished synthesis. Timing comes from
     {!Timing.analyze_tree} (the deterministic analyzer, not SPICE);
     the slew-margin distribution from {!stage_slews} against
@@ -132,6 +133,7 @@ val render : t -> string
 (** Pretty canonical JSON ({!Obs_json.to_string}[ ~pretty:true]). *)
 
 val write_file : string -> t -> unit
+  [@@cts.raises "Invalid_argument,Sys_error"]
 
-val load_file : string -> (t, string) result
+val load_file : string -> (t, string) result [@@cts.raises "End_of_file"]
 (** Read + parse + validate; errors are prefixed with the path. *)

@@ -703,8 +703,10 @@ let ext_useful_skew env =
       m.Ctree_sim.sink_delays
   in
   let adj_skew =
-    List.fold_left Float.max (List.hd adj) adj
-    -. List.fold_left Float.min (List.hd adj) adj
+    match adj with
+    | [] -> 0.
+    | d :: _ ->
+        List.fold_left Float.max d adj -. List.fold_left Float.min d adj
   in
   Printf.sprintf
     "EXT-USEFUL-SKEW  Scheduled arrivals on %s: %d of %d sinks targeted +50 \

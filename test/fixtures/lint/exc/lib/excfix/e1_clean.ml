@@ -1,0 +1,9 @@
+(* Clean counterpart to e1_escape: the task catches the exception
+   inside the closure, so nothing escapes the pool. *)
+
+exception Boom
+
+let helper x = if x > 3 then raise Boom
+
+let run pool items =
+  Parallel.iter pool (fun item -> try helper item with Boom -> ()) items

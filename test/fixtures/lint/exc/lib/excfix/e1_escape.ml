@@ -1,0 +1,8 @@
+(* Seeded E1 fixture: an undeclared exception escapes a pool task
+   through a helper call — the witness chain must name the hop. *)
+
+exception Boom
+
+let helper x = if x > 3 then raise Boom
+
+let run pool items = Parallel.iter pool (fun item -> helper item) items

@@ -1,0 +1,1 @@
+let find l k = List.assoc k l

@@ -1,0 +1,4 @@
+(* Clean counterpart: the contract matches the inferred effect set
+   exactly — neither direction of E2 fires. *)
+
+val find : (int * int) list -> int -> int [@@cts.raises "Not_found"]

@@ -1,0 +1,1 @@
+let size x = x + 1

@@ -1,0 +1,4 @@
+(* Seeded E2 fixture (stale direction): the contract still declares
+   Not_found, but the implementation can no longer raise it. *)
+
+val size : int -> int [@@cts.raises "Not_found"]

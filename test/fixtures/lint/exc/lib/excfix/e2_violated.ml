@@ -1,0 +1,1 @@
+let parse s = if s = "" then failwith "empty input" else String.length s

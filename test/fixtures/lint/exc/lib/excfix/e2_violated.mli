@@ -1,0 +1,4 @@
+(* Seeded E2 fixture (violated direction): the contract claims the
+   parser is total, but the implementation can raise Failure. *)
+
+val parse : string -> int [@@cts.raises ""]

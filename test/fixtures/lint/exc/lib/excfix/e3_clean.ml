@@ -1,0 +1,10 @@
+(* Clean counterpart to e3_leak: Fun.protect ~finally guarantees the
+   release on every unwind path. *)
+
+let parse_line l = if l = "" then failwith "empty line" else l
+
+let first path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_line (input_line ic))

@@ -1,0 +1,11 @@
+(* Seeded E3 fixture: the channel is open across a call that may
+   raise; the raising path leaks the descriptor. *)
+
+let parse_line l = if l = "" then failwith "empty line" else l
+
+let first path =
+  let ic = open_in path in
+  let line = input_line ic in
+  let v = parse_line line in
+  close_in ic;
+  v

@@ -1,0 +1,13 @@
+(* Clean counterparts to e4_swallow: an enumerated handler, an
+   annotated catch-all, and an observer that re-raises. *)
+
+let enumerated s = try int_of_string s with Failure _ -> 0
+
+let[@cts.catch_all_ok "demo: default on any parse failure"] annotated s =
+  try int_of_string s with _ -> 0
+
+let observer s =
+  try int_of_string s
+  with e ->
+    print_endline "parse failed";
+    raise e

@@ -1,0 +1,6 @@
+(* Clean counterpart to e5_partial: a dominating shape check proves
+   the argument Some before the partial call. *)
+
+let pick o = if Option.is_some o then Option.get o else 0
+
+let run pool items = Parallel.map pool (fun item -> pick item) items

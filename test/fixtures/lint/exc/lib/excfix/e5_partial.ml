@@ -1,0 +1,9 @@
+(* Seeded E5 fixture: a partial Option.get on an unproven shape,
+   reachable from a pool task. The task catches the exception so E1
+   stays quiet — the shape hazard is the finding. *)
+
+let pick o = Option.get o
+
+let run pool items =
+  Parallel.map pool (fun item -> try pick item with Invalid_argument _ -> 0)
+    items

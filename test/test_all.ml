@@ -32,4 +32,5 @@ let () =
       ("lint", T_lint.suite);
       ("units", T_units.suite);
       ("race", T_race.suite);
+      ("exc", T_exc.suite);
     ]
